@@ -1,0 +1,7 @@
+"""Setuptools shim so that editable installs work in offline environments
+without the `wheel` package (pip falls back to `setup.py develop` when invoked
+with --no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""repro — a reproduction of "Iterative Approximate Byzantine Consensus in
+Arbitrary Directed Graphs" (Vaidya, Tseng, Liang; PODC 2012).
+
+The package provides
+
+* :mod:`repro.graphs` — a directed-graph substrate with generators for every
+  family the paper analyses (complete graphs, core networks, hypercubes,
+  chord networks, …);
+* :mod:`repro.conditions` — the paper's tight necessary-and-sufficient
+  feasibility condition (Theorem 1), its corollaries, the asynchronous
+  variant of Section 7, propagation machinery and robustness comparisons;
+* :mod:`repro.algorithms` — the paper's Algorithm 1 (trimmed mean), W-MSR and
+  baselines, as pluggable update rules;
+* :mod:`repro.adversary` — Byzantine behaviour strategies including the
+  split-brain attack from the necessity proof;
+* :mod:`repro.simulation` — synchronous and partially asynchronous round-based
+  engines, metrics, traces and the high-level :func:`run_consensus` API;
+* :mod:`repro.analysis` — α, the Lemma-5 contraction bound, Theorem-3 window
+  verification and empirical rate estimation;
+* :mod:`repro.experiments` — drivers that regenerate every paper result.
+
+Quickstart
+----------
+>>> from repro import core_network, check_feasibility, run_consensus
+>>> graph = core_network(n=7, f=2)
+>>> check_feasibility(graph, f=2).satisfied
+True
+>>> outcome = run_consensus(graph, f=2, seed=1)
+>>> outcome.converged and outcome.validity_ok
+True
+"""
+
+from repro.adversary import (
+    ByzantineStrategy,
+    ExtremePushStrategy,
+    RandomNoiseStrategy,
+    SplitBrainStrategy,
+    StaticValueStrategy,
+)
+from repro.algorithms import (
+    LinearAverageRule,
+    MedianRule,
+    TrimmedMeanRule,
+    TrimmedMidpointRule,
+    UpdateRule,
+    WMSRRule,
+)
+from repro.analysis import (
+    alpha_for_rule,
+    lemma5_contraction_factor,
+    verify_theorem3_windows,
+)
+from repro.conditions import (
+    check_async_feasibility,
+    check_feasibility,
+    find_violating_partition,
+    propagates_f,
+    reaches_f,
+    satisfies_theorem1,
+    verify_witness,
+)
+from repro.graphs import (
+    Digraph,
+    chord_network,
+    complete_graph,
+    core_network,
+    hypercube,
+)
+from repro.simulation import (
+    run_consensus,
+    run_partially_asynchronous,
+    run_synchronous,
+)
+from repro.types import ConsensusOutcome, FeasibilityResult, PartitionWitness
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graphs
+    "Digraph",
+    "chord_network",
+    "complete_graph",
+    "core_network",
+    "hypercube",
+    # conditions
+    "check_async_feasibility",
+    "check_feasibility",
+    "find_violating_partition",
+    "propagates_f",
+    "reaches_f",
+    "satisfies_theorem1",
+    "verify_witness",
+    # algorithms
+    "LinearAverageRule",
+    "MedianRule",
+    "TrimmedMeanRule",
+    "TrimmedMidpointRule",
+    "UpdateRule",
+    "WMSRRule",
+    # adversary
+    "ByzantineStrategy",
+    "ExtremePushStrategy",
+    "RandomNoiseStrategy",
+    "SplitBrainStrategy",
+    "StaticValueStrategy",
+    # simulation
+    "run_consensus",
+    "run_partially_asynchronous",
+    "run_synchronous",
+    # analysis
+    "alpha_for_rule",
+    "lemma5_contraction_factor",
+    "verify_theorem3_windows",
+    # types
+    "ConsensusOutcome",
+    "FeasibilityResult",
+    "PartitionWitness",
+]

@@ -1,0 +1,34 @@
+"""Byzantine adversary substrate: strategy interface, concrete behaviours and
+fault-set selection policies."""
+
+from repro.adversary.base import AdversaryContext, ByzantineStrategy, PassiveStrategy
+from repro.adversary.selection import (
+    fault_set_from_witness,
+    highest_in_degree_fault_set,
+    highest_out_degree_fault_set,
+    random_fault_set,
+)
+from repro.adversary.strategies import (
+    BroadcastConsistentStrategy,
+    ExtremePushStrategy,
+    FrozenValueStrategy,
+    RandomNoiseStrategy,
+    SplitBrainStrategy,
+    StaticValueStrategy,
+)
+
+__all__ = [
+    "AdversaryContext",
+    "ByzantineStrategy",
+    "PassiveStrategy",
+    "BroadcastConsistentStrategy",
+    "ExtremePushStrategy",
+    "FrozenValueStrategy",
+    "RandomNoiseStrategy",
+    "SplitBrainStrategy",
+    "StaticValueStrategy",
+    "fault_set_from_witness",
+    "highest_in_degree_fault_set",
+    "highest_out_degree_fault_set",
+    "random_fault_set",
+]

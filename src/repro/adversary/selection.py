@@ -1,0 +1,85 @@
+"""Fault-set selection policies.
+
+Given a graph and a fault budget ``f``, these helpers choose *which* nodes the
+adversary corrupts.  The paper's analysis holds for every fault set of size at
+most ``f``; experiments use different selections to probe worst-ish cases:
+
+* :func:`random_fault_set` — uniform random choice (the default in sweeps),
+* :func:`highest_in_degree_fault_set` / :func:`highest_out_degree_fault_set` —
+  corrupt the most influential nodes,
+* :func:`fault_set_from_witness` — corrupt exactly the set ``F`` of a
+  Theorem-1 violating partition, which is what the necessity-proof attack
+  requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FaultBudgetExceededError, InvalidParameterError
+from repro.graphs.digraph import Digraph
+from repro.types import NodeId, PartitionWitness
+
+
+def _validate_budget(graph: Digraph, f: int, size: int) -> None:
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if size > f:
+        raise FaultBudgetExceededError(size, f)
+    if size > graph.number_of_nodes:
+        raise InvalidParameterError(
+            f"cannot select {size} faulty nodes from a graph with "
+            f"{graph.number_of_nodes} nodes"
+        )
+
+
+def random_fault_set(
+    graph: Digraph,
+    f: int,
+    size: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> frozenset[NodeId]:
+    """Return a uniformly random fault set of ``size`` nodes (default ``f``)."""
+    target_size = f if size is None else size
+    _validate_budget(graph, f, target_size)
+    if target_size == 0:
+        return frozenset()
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    nodes = sorted(graph.nodes, key=repr)
+    chosen = generator.choice(len(nodes), size=target_size, replace=False)
+    return frozenset(nodes[int(index)] for index in chosen)
+
+
+def highest_in_degree_fault_set(
+    graph: Digraph, f: int, size: int | None = None
+) -> frozenset[NodeId]:
+    """Return the ``size`` nodes with largest in-degree (ties by repr)."""
+    target_size = f if size is None else size
+    _validate_budget(graph, f, target_size)
+    ranked = sorted(graph.nodes, key=lambda node: (-graph.in_degree(node), repr(node)))
+    return frozenset(ranked[:target_size])
+
+
+def highest_out_degree_fault_set(
+    graph: Digraph, f: int, size: int | None = None
+) -> frozenset[NodeId]:
+    """Return the ``size`` nodes with largest out-degree (ties by repr).
+
+    Out-degree measures how many fault-free nodes a corrupted node can lie to
+    directly, so this is usually the most damaging degree-based selection.
+    """
+    target_size = f if size is None else size
+    _validate_budget(graph, f, target_size)
+    ranked = sorted(graph.nodes, key=lambda node: (-graph.out_degree(node), repr(node)))
+    return frozenset(ranked[:target_size])
+
+
+def fault_set_from_witness(witness: PartitionWitness, f: int) -> frozenset[NodeId]:
+    """Return the fault set ``F`` of a violating partition, validating ``|F| ≤ f``."""
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if len(witness.faulty) > f:
+        raise FaultBudgetExceededError(len(witness.faulty), f)
+    return witness.faulty

@@ -1,0 +1,246 @@
+"""Concrete Byzantine behaviour strategies.
+
+The strategies range from benign (frozen value) through generic disruption
+(static extremes, random noise, extreme pushing) to the paper-specific
+*split-brain* attack used in the necessity proof of Theorem 1: send values
+below the minimum to one side of a violating partition and values above the
+maximum to the other side, so the two sides can never approach each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.base import AdversaryContext, ByzantineStrategy
+from repro.exceptions import InvalidParameterError
+from repro.types import NodeId, PartitionWitness
+
+
+class StaticValueStrategy(ByzantineStrategy):
+    """Send the same constant value on every outgoing edge, every iteration."""
+
+    name = "static-value"
+
+    def __init__(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The constant value sent on every edge."""
+        return self._value
+
+    def outgoing_values(
+        self, node: NodeId, context: AdversaryContext
+    ) -> dict[NodeId, float]:
+        return {
+            neighbor: self._value
+            for neighbor in context.graph.out_neighbors(node)
+        }
+
+    def nominal_value(self, node: NodeId, context: AdversaryContext) -> float:
+        return self._value
+
+
+class FrozenValueStrategy(ByzantineStrategy):
+    """Keep sending the node's *initial* state forever (a stuck node).
+
+    This models the mildest deviation from the protocol: the node never
+    updates.  It is a useful control because a correct algorithm tolerating
+    Byzantine faults must certainly tolerate stuck nodes.
+    """
+
+    name = "frozen-value"
+
+    def __init__(self) -> None:
+        self._frozen: dict[NodeId, float] = {}
+
+    def outgoing_values(
+        self, node: NodeId, context: AdversaryContext
+    ) -> dict[NodeId, float]:
+        if node not in self._frozen:
+            self._frozen[node] = float(context.values[node])
+        value = self._frozen[node]
+        return {neighbor: value for neighbor in context.graph.out_neighbors(node)}
+
+    def nominal_value(self, node: NodeId, context: AdversaryContext) -> float:
+        return self._frozen.get(node, float(context.values[node]))
+
+
+class RandomNoiseStrategy(ByzantineStrategy):
+    """Send independent uniform random values, per edge and per iteration.
+
+    Each outgoing edge gets a fresh draw from ``[low, high]``, so different
+    neighbours receive different (mismatching) values — exploiting the
+    point-to-point model.
+    """
+
+    name = "random-noise"
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if high < low:
+            raise InvalidParameterError(
+                f"high ({high}) must be >= low ({low}) for random noise"
+            )
+        self._low = float(low)
+        self._high = float(high)
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+
+    def outgoing_values(
+        self, node: NodeId, context: AdversaryContext
+    ) -> dict[NodeId, float]:
+        neighbors = sorted(context.graph.out_neighbors(node), key=repr)
+        draws = self._rng.uniform(self._low, self._high, size=len(neighbors))
+        return {neighbor: float(draw) for neighbor, draw in zip(neighbors, draws)}
+
+
+class ExtremePushStrategy(ByzantineStrategy):
+    """Try to keep the fault-free spread as wide as possible.
+
+    Every iteration, each faulty node sends ``U[t−1] + delta`` to the
+    out-neighbours whose state is in the upper half of the fault-free range
+    and ``µ[t−1] − delta`` to the rest — pulling high nodes higher and low
+    nodes lower.  Against Algorithm 1 these values are always trimmed away
+    (or sandwiched by fault-free values), which is exactly the behaviour the
+    validity proof (Theorem 2) accounts for.
+    """
+
+    name = "extreme-push"
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta < 0:
+            raise InvalidParameterError(f"delta must be >= 0, got {delta}")
+        self._delta = float(delta)
+
+    def outgoing_values(
+        self, node: NodeId, context: AdversaryContext
+    ) -> dict[NodeId, float]:
+        upper = context.fault_free_max
+        lower = context.fault_free_min
+        midpoint = (upper + lower) / 2.0
+        high_value = upper + self._delta
+        low_value = lower - self._delta
+        values: dict[NodeId, float] = {}
+        for neighbor in context.graph.out_neighbors(node):
+            neighbor_state = float(context.values.get(neighbor, midpoint))
+            values[neighbor] = high_value if neighbor_state >= midpoint else low_value
+        return values
+
+
+class SplitBrainStrategy(ByzantineStrategy):
+    """The attack from the necessity proof of Theorem 1.
+
+    Given a violating partition ``F, L, C, R`` (a
+    :class:`~repro.types.PartitionWitness`), the faulty nodes send
+
+    * ``m⁻ = low_value − margin`` to their out-neighbours in ``L``,
+    * ``M⁺ = high_value + margin`` to their out-neighbours in ``R``, and
+    * the midpoint of ``[low_value, high_value]`` to out-neighbours in ``C``
+      (any value in the range would do).
+
+    Combined with inputs ``m`` on ``L``, ``M`` on ``R`` and values in
+    ``[m, M]`` on ``C``, the proof shows every validity-respecting iterative
+    algorithm must keep ``L`` stuck at ``m`` and ``R`` stuck at ``M`` forever,
+    so convergence is impossible.  The strategy is what experiment E1 uses to
+    demonstrate non-convergence on graphs that fail the condition.
+    """
+
+    name = "split-brain"
+
+    def __init__(
+        self,
+        witness: PartitionWitness,
+        low_value: float,
+        high_value: float,
+        margin: float = 1.0,
+    ) -> None:
+        if high_value <= low_value:
+            raise InvalidParameterError(
+                f"high_value ({high_value}) must exceed low_value ({low_value})"
+            )
+        if margin <= 0:
+            raise InvalidParameterError(f"margin must be > 0, got {margin}")
+        self._witness = witness
+        self._low = float(low_value)
+        self._high = float(high_value)
+        self._margin = float(margin)
+
+    @property
+    def witness(self) -> PartitionWitness:
+        """The violating partition the attack is built around."""
+        return self._witness
+
+    def recommended_inputs(self) -> dict[NodeId, float]:
+        """Return the input assignment used by the necessity proof.
+
+        Nodes in ``L`` get ``m = low_value``, nodes in ``R`` get
+        ``M = high_value``, nodes in ``C`` get the midpoint, and faulty nodes
+        get the midpoint as their nominal input.
+        """
+        midpoint = (self._low + self._high) / 2.0
+        inputs: dict[NodeId, float] = {}
+        for node in self._witness.left:
+            inputs[node] = self._low
+        for node in self._witness.right:
+            inputs[node] = self._high
+        for node in self._witness.center:
+            inputs[node] = midpoint
+        for node in self._witness.faulty:
+            inputs[node] = midpoint
+        return inputs
+
+    def outgoing_values(
+        self, node: NodeId, context: AdversaryContext
+    ) -> dict[NodeId, float]:
+        midpoint = (self._low + self._high) / 2.0
+        below = self._low - self._margin
+        above = self._high + self._margin
+        values: dict[NodeId, float] = {}
+        for neighbor in context.graph.out_neighbors(node):
+            if neighbor in self._witness.left:
+                values[neighbor] = below
+            elif neighbor in self._witness.right:
+                values[neighbor] = above
+            else:
+                values[neighbor] = midpoint
+        return values
+
+    def nominal_value(self, node: NodeId, context: AdversaryContext) -> float:
+        return (self._low + self._high) / 2.0
+
+
+class BroadcastConsistentStrategy(ByzantineStrategy):
+    """Force an inner strategy to behave under the *broadcast* model.
+
+    Under the broadcast model (Sundaram & Hadjicostis, LeBlanc et al.) a
+    faulty node may lie but must send the **same** value to all of its
+    out-neighbours.  This wrapper runs any inner strategy and collapses its
+    per-edge values to a single value (the one destined for the
+    lexicographically smallest out-neighbour), letting experiments quantify
+    how much power the adversary loses when it cannot equivocate.
+    """
+
+    name = "broadcast-consistent"
+
+    def __init__(self, inner: ByzantineStrategy) -> None:
+        self._inner = inner
+        self.name = f"broadcast({inner.name})"
+
+    def outgoing_values(
+        self, node: NodeId, context: AdversaryContext
+    ) -> dict[NodeId, float]:
+        per_edge = self._inner.outgoing_values(node, context)
+        neighbors = sorted(context.graph.out_neighbors(node), key=repr)
+        if not neighbors:
+            return {}
+        chosen = per_edge[neighbors[0]]
+        return {neighbor: chosen for neighbor in neighbors}
+
+    def nominal_value(self, node: NodeId, context: AdversaryContext) -> float:
+        return self._inner.nominal_value(node, context)

@@ -1,0 +1,18 @@
+"""Iterative consensus update rules: the paper's Algorithm 1 (trimmed mean),
+the W-MSR rule from the companion literature, and non-fault-tolerant
+baselines."""
+
+from repro.algorithms.base import UpdateRule, sort_received
+from repro.algorithms.linear import LinearAverageRule, MedianRule
+from repro.algorithms.trimmed_mean import TrimmedMeanRule, TrimmedMidpointRule
+from repro.algorithms.wmsr import WMSRRule
+
+__all__ = [
+    "UpdateRule",
+    "sort_received",
+    "LinearAverageRule",
+    "MedianRule",
+    "TrimmedMeanRule",
+    "TrimmedMidpointRule",
+    "WMSRRule",
+]

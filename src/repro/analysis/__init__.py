@@ -1,0 +1,41 @@
+"""Analysis tools: the paper's convergence-rate bounds (α, Lemma 5,
+Theorem 3's windows), empirical rate estimation from traces, and the
+matrix / spectral view of the fault-free dynamics."""
+
+from repro.analysis.convergence import (
+    WindowCheck,
+    alpha_for_rule,
+    empirical_decay_rate,
+    lemma5_contraction_factor,
+    rounds_to_reach,
+    rounds_until_tolerance,
+    verify_theorem3_windows,
+    worst_case_window_length,
+)
+from repro.analysis.markov import (
+    effective_update_matrix,
+    is_row_stochastic,
+    linear_average_matrix,
+    node_ordering,
+    predicted_rounds_linear,
+    second_largest_eigenvalue_modulus,
+    spectral_gap,
+)
+
+__all__ = [
+    "WindowCheck",
+    "alpha_for_rule",
+    "empirical_decay_rate",
+    "lemma5_contraction_factor",
+    "rounds_to_reach",
+    "rounds_until_tolerance",
+    "verify_theorem3_windows",
+    "worst_case_window_length",
+    "effective_update_matrix",
+    "is_row_stochastic",
+    "linear_average_matrix",
+    "node_ordering",
+    "predicted_rounds_linear",
+    "second_largest_eigenvalue_modulus",
+    "spectral_gap",
+]

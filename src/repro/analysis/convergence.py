@@ -1,0 +1,259 @@
+"""Convergence-rate analysis: the paper's bounds and empirical estimates.
+
+The quantitative content of the sufficiency proof is:
+
+* ``α = min_i a_i`` (eq. 3) where ``a_i = 1 / (|N⁻_i| + 1 − 2f)`` for
+  Algorithm 1;
+* Lemma 5: if at time ``s`` the fault-free nodes split into ``R`` (whose
+  states span at most half the current spread) and ``L`` with ``R``
+  propagating to ``L`` in ``l`` steps, then
+  ``U[s + l] − µ[s + l] ≤ (1 − αˡ/2)(U[s] − µ[s])``;
+* Theorem 3 iterates this bound over windows (eq. 22), giving geometric decay
+  of the spread with per-window factor at most ``1 − α^{l} / 2`` and window
+  length ``l ≤ n − f − 1``.
+
+This module computes the analytical quantities (α, propagation windows, the
+per-window factor, a bound on the number of rounds to reach a target spread)
+and compares them against measured traces (used by experiment E7 and by the
+regression tests that assert the measured contraction never beats the proof's
+direction of the inequality... i.e. never violates it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.base import UpdateRule
+from repro.conditions.relations import propagates
+from repro.exceptions import InvalidParameterError, NotApplicableError
+from repro.graphs.digraph import Digraph
+from repro.types import NodeId, RoundRecord
+
+
+# ---------------------------------------------------------------------------
+# Analytical quantities
+# ---------------------------------------------------------------------------
+def alpha_for_rule(
+    graph: Digraph,
+    rule: UpdateRule,
+    fault_free: frozenset[NodeId] | None = None,
+) -> float:
+    """Return ``α = min_i a_i`` over the fault-free nodes (paper eq. 3).
+
+    Raises :class:`~repro.exceptions.NotApplicableError` for rules without a
+    weight floor (e.g. the midpoint rule), for which the paper's analysis does
+    not apply.
+    """
+    nodes = sorted(graph.nodes if fault_free is None else fault_free, key=repr)
+    value = rule.alpha(graph, nodes=nodes)
+    if value is None:
+        raise NotApplicableError(
+            f"rule {rule.name!r} has no weight floor; α is undefined"
+        )
+    return value
+
+
+def lemma5_contraction_factor(alpha: float, steps: int) -> float:
+    """Return the Lemma-5 per-window contraction factor ``1 − α^steps / 2``."""
+    if not 0 < alpha <= 1:
+        raise InvalidParameterError(f"alpha must be in (0, 1], got {alpha}")
+    if steps < 1:
+        raise InvalidParameterError(f"steps must be >= 1, got {steps}")
+    return 1.0 - (alpha**steps) / 2.0
+
+
+def worst_case_window_length(n: int, f: int) -> int:
+    """Return the paper's bound ``l ≤ n − f − 1`` on the propagation length."""
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    if f < 0 or n - f - 1 < 1:
+        raise InvalidParameterError(
+            f"need at least f + 2 nodes for a meaningful window; got n={n}, f={f}"
+        )
+    return n - f - 1
+
+
+def rounds_to_reach(
+    initial_spread: float,
+    target_spread: float,
+    alpha: float,
+    window_length: int,
+) -> int:
+    """Return an upper bound on the number of iterations needed to shrink the
+    fault-free spread from ``initial_spread`` to ``target_spread``.
+
+    Derived from iterating Lemma 5 with a fixed window length: after ``k``
+    windows the spread is at most
+    ``(1 − α^window_length / 2)^k · initial_spread``; the bound returned is
+    ``k · window_length`` for the smallest sufficient ``k``.
+    """
+    if initial_spread < 0 or target_spread < 0:
+        raise InvalidParameterError("spreads must be non-negative")
+    if target_spread == 0:
+        raise InvalidParameterError(
+            "target_spread must be positive (exact agreement is only reached "
+            "in the limit)"
+        )
+    if initial_spread <= target_spread:
+        return 0
+    factor = lemma5_contraction_factor(alpha, window_length)
+    if factor >= 1.0:
+        raise NotApplicableError(
+            "contraction factor is 1; the bound gives no finite round count"
+        )
+    windows = math.ceil(
+        math.log(target_spread / initial_spread) / math.log(factor)
+    )
+    return int(windows) * window_length
+
+
+# ---------------------------------------------------------------------------
+# Per-window verification against a measured trace (Theorem 3's argument)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WindowCheck:
+    """One application of Lemma 5 along a measured trace.
+
+    Attributes
+    ----------
+    start_round:
+        The window's starting iteration ``s``.
+    window_length:
+        The propagation length ``l(s)`` of the partition chosen at ``s``.
+    bound_factor:
+        The analytical factor ``1 − α^{l(s)} / 2``.
+    measured_factor:
+        The measured contraction ``(U[s+l] − µ[s+l]) / (U[s] − µ[s])``.
+    satisfied:
+        Whether the measured contraction respects the bound
+        (``measured_factor ≤ bound_factor`` up to numerical slack).
+    """
+
+    start_round: int
+    window_length: int
+    bound_factor: float
+    measured_factor: float
+    satisfied: bool
+
+
+def _midpoint_partition(
+    record: RoundRecord, fault_free: frozenset[NodeId]
+) -> tuple[frozenset[NodeId], frozenset[NodeId]]:
+    """Split the fault-free nodes at the midpoint of ``[µ[s], U[s]]``.
+
+    This is exactly the partition used in the proof of Theorem 3: ``A`` holds
+    the nodes in the lower half-open interval and ``B`` the rest; both are
+    non-empty whenever the spread is positive.
+    """
+    midpoint = (record.fault_free_max + record.fault_free_min) / 2.0
+    lower = frozenset(
+        node
+        for node in fault_free
+        if record.values[node] < midpoint
+    )
+    upper = fault_free - lower
+    return lower, upper
+
+
+def verify_theorem3_windows(
+    history: Sequence[RoundRecord],
+    graph: Digraph,
+    f: int,
+    alpha: float,
+    faulty: frozenset[NodeId] = frozenset(),
+    slack: float = 1e-9,
+) -> list[WindowCheck]:
+    """Replay Theorem 3's windowed argument along a measured trace.
+
+    Starting from round ``s = 0`` and repeating from ``s + l(s)``: partition
+    the fault-free nodes at the midpoint of their value range, determine which
+    side propagates to the other (Lemma 2 guarantees one does when the graph
+    satisfies Theorem 1), record the Lemma-5 bound for that window and the
+    contraction actually measured over it.
+
+    The returned checks all have ``satisfied=True`` when the implementation is
+    faithful; the regression tests assert exactly that.
+    """
+    if not history:
+        raise InvalidParameterError("history must contain at least the initial round")
+    fault_free = graph.nodes - faulty
+    checks: list[WindowCheck] = []
+    threshold = f + 1
+    start = 0
+    last_round = history[-1].round_index
+    while start < last_round:
+        record = history[start]
+        spread_start = record.spread
+        if spread_start <= 0:
+            break
+        lower, upper = _midpoint_partition(record, fault_free)
+        if not lower or not upper:
+            break
+        forward = propagates(graph, lower, upper, threshold)
+        backward = propagates(graph, upper, lower, threshold)
+        if forward.propagates:
+            # Lower half (interval length < half the spread) propagates to the
+            # upper half, matching the proof's first case.
+            window = forward.steps
+        elif backward.propagates:
+            window = backward.steps
+        else:
+            raise NotApplicableError(
+                "neither half propagates to the other: the graph does not "
+                "satisfy the Theorem-1 condition, so Lemma 5 does not apply"
+            )
+        end = start + window
+        if end > last_round:
+            break
+        spread_end = history[end].spread
+        bound = lemma5_contraction_factor(alpha, window)
+        measured = spread_end / spread_start
+        checks.append(
+            WindowCheck(
+                start_round=start,
+                window_length=window,
+                bound_factor=bound,
+                measured_factor=measured,
+                satisfied=measured <= bound + slack,
+            )
+        )
+        start = end
+    return checks
+
+
+# ---------------------------------------------------------------------------
+# Empirical rate estimation
+# ---------------------------------------------------------------------------
+def empirical_decay_rate(spreads: Sequence[float]) -> float:
+    """Return the fitted per-round geometric decay rate of the spread series.
+
+    Fits ``spread[t] ≈ spread[0] · r^t`` by least squares on the logarithms of
+    the positive entries and returns ``r``.  Requires at least two positive
+    spreads; returns 0.0 when the series collapses to zero immediately
+    (instant agreement).
+    """
+    values = np.asarray(list(spreads), dtype=float)
+    if values.size < 2:
+        raise InvalidParameterError("need at least two rounds to fit a rate")
+    positive_mask = values > 0
+    if positive_mask.sum() < 2:
+        return 0.0
+    rounds = np.arange(values.size, dtype=float)[positive_mask]
+    logs = np.log(values[positive_mask])
+    slope, _ = np.polyfit(rounds, logs, 1)
+    return float(np.exp(slope))
+
+
+def rounds_until_tolerance(spreads: Sequence[float], tolerance: float) -> int | None:
+    """Return the first round index at which the spread is ≤ ``tolerance``,
+    or ``None`` if it never happens within the series."""
+    if tolerance < 0:
+        raise InvalidParameterError(f"tolerance must be >= 0, got {tolerance}")
+    for index, value in enumerate(spreads):
+        if value <= tolerance:
+            return index
+    return None

@@ -1,0 +1,139 @@
+"""Matrix / Markov-chain view of the fault-free dynamics.
+
+Section 2.3 of the paper remarks that, because the state at time ``t`` depends
+only on the state at ``t − 1``, the evolution can be modelled by a Markov
+chain.  For the non-fault-tolerant linear-average baseline the chain is
+time-invariant and its transition matrix is fixed by the graph, so classical
+spectral theory predicts the convergence rate; for Algorithm 1 the effective
+matrix varies per round (the trimmed set ``N*_i[t]`` depends on the received
+values), but each round's update is still a row-stochastic matrix with
+diagonal at least ``α``.  This module provides:
+
+* :func:`linear_average_matrix` — the fixed matrix of the baseline,
+* :func:`spectral_gap` / :func:`second_largest_eigenvalue_modulus` — standard
+  convergence-rate predictors for the baseline,
+* :func:`effective_update_matrix` — the per-round row-stochastic matrix
+  realised by Algorithm 1 on a given received-value profile (useful to verify
+  the "diagonal ≥ α, rows sum to 1" structure that the convergence proof
+  relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.trimmed_mean import TrimmedMeanRule
+from repro.exceptions import InvalidParameterError
+from repro.graphs.digraph import Digraph
+from repro.types import NodeId, ReceivedValue
+
+
+def node_ordering(graph: Digraph) -> list[NodeId]:
+    """Return the deterministic node ordering used for matrix rows/columns."""
+    return sorted(graph.nodes, key=repr)
+
+
+def linear_average_matrix(graph: Digraph) -> np.ndarray:
+    """Return the row-stochastic matrix of the equal-weight averaging baseline.
+
+    Row ``i`` places weight ``1 / (|N⁻_i| + 1)`` on node ``i`` itself and on
+    each of its in-neighbours.
+    """
+    nodes = node_ordering(graph)
+    index = {node: position for position, node in enumerate(nodes)}
+    n = len(nodes)
+    matrix = np.zeros((n, n), dtype=float)
+    for node in nodes:
+        weight = 1.0 / (graph.in_degree(node) + 1)
+        row = index[node]
+        matrix[row, row] = weight
+        for neighbor in graph.in_neighbors(node):
+            matrix[row, index[neighbor]] = weight
+    return matrix
+
+
+def is_row_stochastic(matrix: np.ndarray, tolerance: float = 1e-9) -> bool:
+    """Return whether every row of ``matrix`` is non-negative and sums to 1."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise InvalidParameterError("matrix must be square")
+    if (matrix < -tolerance).any():
+        return False
+    return bool(np.allclose(matrix.sum(axis=1), 1.0, atol=tolerance))
+
+
+def second_largest_eigenvalue_modulus(matrix: np.ndarray) -> float:
+    """Return ``|λ₂|``, the second largest eigenvalue modulus of ``matrix``.
+
+    For a primitive row-stochastic matrix this governs the geometric rate at
+    which the baseline averaging iteration contracts disagreement.
+    """
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise InvalidParameterError("matrix must be square")
+    if matrix.shape[0] == 1:
+        return 0.0
+    eigenvalues = np.linalg.eigvals(matrix)
+    moduli = np.sort(np.abs(eigenvalues))[::-1]
+    return float(moduli[1])
+
+
+def spectral_gap(matrix: np.ndarray) -> float:
+    """Return ``1 − |λ₂|`` for a row-stochastic matrix."""
+    return 1.0 - second_largest_eigenvalue_modulus(matrix)
+
+
+def effective_update_matrix(
+    graph: Digraph,
+    rule: TrimmedMeanRule,
+    received_profile: dict[NodeId, Sequence[ReceivedValue]],
+) -> np.ndarray:
+    """Return the row-stochastic matrix realised by Algorithm 1 in one round.
+
+    ``received_profile`` maps each node to the received vector it saw that
+    round.  The row for node ``i`` places weight ``a_i`` on ``i`` itself and on
+    each sender surviving the trimming; senders outside the graph's node set
+    (impossible in well-formed profiles) raise an error.  Faulty senders that
+    survive the trimming appear in the row like any other sender — the
+    convergence proof handles them by sandwiching, not by excluding them from
+    the matrix.
+    """
+    nodes = node_ordering(graph)
+    index = {node: position for position, node in enumerate(nodes)}
+    n = len(nodes)
+    matrix = np.zeros((n, n), dtype=float)
+    for node in nodes:
+        row = index[node]
+        if node not in received_profile:
+            matrix[row, row] = 1.0
+            continue
+        received = list(received_profile[node])
+        survivors = rule.surviving_values(node, received)
+        weight = rule.weight_floor(len(received))
+        matrix[row, row] = weight
+        for item in survivors:
+            if item.sender not in index:
+                raise InvalidParameterError(
+                    f"sender {item.sender!r} is not a node of the graph"
+                )
+            matrix[row, index[item.sender]] += weight
+    return matrix
+
+
+def predicted_rounds_linear(
+    graph: Digraph, initial_spread: float, tolerance: float
+) -> int:
+    """Predict (via the spectral gap) how many rounds the linear-average
+    baseline needs to shrink ``initial_spread`` to ``tolerance`` on a strongly
+    connected graph.  A coarse estimate used only for reporting alongside the
+    measured round counts in the ablation benchmark."""
+    if initial_spread <= 0 or tolerance <= 0:
+        raise InvalidParameterError("spreads must be positive")
+    if tolerance >= initial_spread:
+        return 0
+    modulus = second_largest_eigenvalue_modulus(linear_average_matrix(graph))
+    if modulus >= 1.0 or modulus <= 0.0:
+        return 0
+    import math
+
+    return int(math.ceil(math.log(tolerance / initial_spread) / math.log(modulus)))

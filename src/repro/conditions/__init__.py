@@ -1,0 +1,88 @@
+"""Feasibility-condition machinery: the ``⇒`` relation, propagation,
+the Theorem-1 exhaustive checker, corollary screens, the asynchronous variant,
+robustness notions from companion work, and witness search."""
+
+from repro.conditions.asynchronous import (
+    async_threshold,
+    check_async_feasibility,
+    find_async_violating_partition,
+    passes_async_count_screen,
+    passes_async_in_degree_screen,
+    satisfies_async_condition,
+)
+from repro.conditions.necessary import (
+    DEFAULT_MAX_EXACT_NODES,
+    check_feasibility,
+    find_core_clique,
+    find_violating_partition,
+    is_core_network,
+    maximal_insulated_subset,
+    passes_count_screen,
+    passes_in_degree_screen,
+    satisfies_theorem1,
+    verify_witness,
+    violates_condition,
+)
+from repro.conditions.relations import (
+    influenced_set,
+    influenced_set_f,
+    propagates,
+    propagates_f,
+    propagation_dichotomy,
+    propagation_length_bound,
+    reaches,
+    reaches_f,
+)
+from repro.conditions.robustness import (
+    is_r_robust,
+    is_r_s_robust,
+    r_reachable_subset,
+    robustness_degree,
+)
+from repro.conditions.witnesses import (
+    chord_n7_f2_witness,
+    greedy_witness_search,
+    hypercube_dimension_cut_witness,
+    random_witness_search,
+)
+
+__all__ = [
+    # relations
+    "influenced_set",
+    "influenced_set_f",
+    "propagates",
+    "propagates_f",
+    "propagation_dichotomy",
+    "propagation_length_bound",
+    "reaches",
+    "reaches_f",
+    # necessary / sufficient condition
+    "DEFAULT_MAX_EXACT_NODES",
+    "check_feasibility",
+    "find_core_clique",
+    "find_violating_partition",
+    "is_core_network",
+    "maximal_insulated_subset",
+    "passes_count_screen",
+    "passes_in_degree_screen",
+    "satisfies_theorem1",
+    "verify_witness",
+    "violates_condition",
+    # asynchronous variant
+    "async_threshold",
+    "check_async_feasibility",
+    "find_async_violating_partition",
+    "passes_async_count_screen",
+    "passes_async_in_degree_screen",
+    "satisfies_async_condition",
+    # robustness
+    "is_r_robust",
+    "is_r_s_robust",
+    "r_reachable_subset",
+    "robustness_degree",
+    # witnesses
+    "chord_n7_f2_witness",
+    "greedy_witness_search",
+    "hypercube_dimension_cut_witness",
+    "random_witness_search",
+]

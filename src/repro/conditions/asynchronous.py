@@ -1,0 +1,129 @@
+"""The asynchronous variant of the feasibility condition (Section 7).
+
+Section 7 of the paper states that for (totally) asynchronous networks the
+necessary and sufficient condition is obtained from Theorem 1 by replacing the
+``≥ f + 1`` incoming-link requirement in the definition of ``⇒`` with
+``≥ 2f + 1``.  Two immediate consequences mirror Corollaries 2 and 3:
+
+* every node needs in-degree ``≥ 3f + 1`` when ``f > 0``, and
+* the number of nodes must exceed ``5f``.
+
+The checkers here reuse the synchronous machinery of
+:mod:`repro.conditions.necessary` with the larger threshold.
+"""
+
+from __future__ import annotations
+
+from repro.conditions.necessary import (
+    DEFAULT_MAX_EXACT_NODES,
+    find_violating_partition,
+    passes_count_screen,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs.digraph import Digraph
+from repro.graphs.properties import is_complete, minimum_in_degree
+from repro.types import FeasibilityResult, PartitionWitness
+
+
+def async_threshold(f: int) -> int:
+    """Return the ``⇒`` threshold of the asynchronous condition: ``2f + 1``."""
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    return 2 * f + 1
+
+
+def passes_async_count_screen(n: int, f: int) -> bool:
+    """Asynchronous analogue of Corollary 2: the node count must exceed ``5f``.
+
+    For ``f = 0`` the asynchronous condition coincides with the synchronous
+    one at threshold 1, so any ``n ≥ 1`` passes the screen.
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if f == 0:
+        return True
+    return n > 5 * f
+
+
+def passes_async_in_degree_screen(graph: Digraph, f: int) -> bool:
+    """Asynchronous analogue of Corollary 3: in-degree ``≥ 3f + 1`` when ``f > 0``."""
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if f == 0:
+        return True
+    return minimum_in_degree(graph) >= 3 * f + 1
+
+
+def find_async_violating_partition(
+    graph: Digraph,
+    f: int,
+    max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+) -> PartitionWitness | None:
+    """Exhaustively search for a partition violating the asynchronous condition."""
+    return find_violating_partition(
+        graph, f, threshold=async_threshold(f), max_nodes=max_nodes
+    )
+
+
+def satisfies_async_condition(
+    graph: Digraph,
+    f: int,
+    max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+) -> bool:
+    """Return whether ``graph`` satisfies the asynchronous condition for ``f``."""
+    return find_async_violating_partition(graph, f, max_nodes=max_nodes) is None
+
+
+def check_async_feasibility(
+    graph: Digraph,
+    f: int,
+    max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+) -> FeasibilityResult:
+    """Decide feasibility of asynchronous iterative consensus on ``graph``.
+
+    Mirrors :func:`repro.conditions.necessary.check_feasibility` with the
+    Section-7 screens (``n > 5f``, in-degree ``≥ 3f + 1``) and the ``2f + 1``
+    threshold in the exhaustive search.
+    """
+    n = graph.number_of_nodes
+    if not passes_async_count_screen(n, f):
+        return FeasibilityResult(
+            satisfied=False,
+            f=f,
+            method="screen:n>5f",
+            reason=f"n = {n} does not exceed 5f = {5 * f} (Section 7)",
+        )
+    if not passes_async_in_degree_screen(graph, f):
+        return FeasibilityResult(
+            satisfied=False,
+            f=f,
+            method="screen:in-degree",
+            reason=(
+                f"minimum in-degree {minimum_in_degree(graph)} is below "
+                f"3f + 1 = {3 * f + 1} (Section 7)"
+            ),
+        )
+    if is_complete(graph) and passes_count_screen(n, f) and n > 5 * f:
+        return FeasibilityResult(
+            satisfied=True,
+            f=f,
+            method="structural:complete",
+            reason=f"complete graph with n = {n} > 5f = {5 * f}",
+        )
+    witness = find_async_violating_partition(graph, f, max_nodes=max_nodes)
+    if witness is None:
+        return FeasibilityResult(
+            satisfied=True,
+            f=f,
+            method="exhaustive",
+            reason="no violating partition exists at threshold 2f + 1",
+        )
+    return FeasibilityResult(
+        satisfied=False,
+        f=f,
+        witness=witness,
+        method="exhaustive",
+        reason=f"violating partition found: {witness.describe()}",
+    )

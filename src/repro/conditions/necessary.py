@@ -1,0 +1,418 @@
+"""Checkers for the paper's necessary-and-sufficient condition (Theorem 1).
+
+Theorem 1 (necessity; Section 5 proves the same condition sufficient):
+
+    For every partition ``F, L, C, R`` of ``V`` with ``|F| ≤ f``, ``L ≠ ∅``
+    and ``R ≠ ∅``, at least one of ``C ∪ R ⇒ L`` and ``L ∪ C ⇒ R`` holds,
+    where ``A ⇒ B`` means some node of ``B`` has at least ``f + 1``
+    in-neighbours in ``A``.
+
+This module provides
+
+* :func:`violates_condition` / :func:`verify_witness` — check a single
+  candidate partition,
+* :func:`find_violating_partition` — an exact (exhaustive) search for a
+  violating partition, exponential in ``n`` but organised so that only
+  ``2^{n-|F|}`` candidate ``L`` sets are enumerated per fault set ``F``
+  (the matching ``R`` is computed by a closure, see below),
+* fast necessary *screens* derived from the corollaries
+  (:func:`passes_count_screen` — Corollary 2, ``n > 3f``;
+  :func:`passes_in_degree_screen` — Corollary 3, in-degree ``≥ 2f + 1``),
+* structural *sufficient* shortcuts (complete graph with ``n > 3f``; presence
+  of a core-network structure, Definition 4),
+* :func:`check_feasibility` — the one-stop API combining screens, shortcuts
+  and the exhaustive search into a :class:`~repro.types.FeasibilityResult`.
+
+Search strategy
+---------------
+For a fixed fault set ``F`` let ``W = V − F``.  A partition ``(L, C, R)``
+violates the condition exactly when
+
+* every node of ``L`` has fewer than ``f + 1`` in-neighbours in ``W − L``
+  (this is ``C ∪ R ⇏ L``), and
+* every node of ``R`` has fewer than ``f + 1`` in-neighbours in ``W − R``
+  (this is ``L ∪ C ⇏ R``),
+
+i.e. both ``L`` and ``R`` are *insulated* sets of ``W`` (no member receives
+``f + 1`` values from outside the set), and they are disjoint; ``C`` is simply
+the rest.  Therefore it suffices to enumerate candidate insulated sets ``L``
+(``2^{|W|}`` of them), and for each to ask whether ``W − L`` contains a
+non-empty insulated set ``R``.  The latter question has a greedy answer: keep
+deleting from ``W − L`` any node with ``≥ f + 1`` in-neighbours outside the
+current candidate; the fixed point is the unique *maximal* insulated subset of
+``W − L``, and a non-empty fixed point is exactly the witness we need.  This
+reduces the naive ``3^{|W|}`` partition enumeration to ``2^{|W|}`` insulated
+set checks, each near-linear in the graph size.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from repro.exceptions import (
+    GraphTooLargeError,
+    InvalidParameterError,
+    InvalidPartitionError,
+)
+from repro.graphs.digraph import Digraph
+from repro.graphs.properties import is_complete, minimum_in_degree
+from repro.types import FeasibilityResult, NodeId, PartitionWitness
+
+# Default cap on the node count accepted by the exhaustive search.  The search
+# enumerates all fault sets of size <= f and, for each, all subsets of the
+# remaining nodes, so the cost is roughly sum_{|F|<=f} C(n,|F|) * 2^(n-|F|).
+DEFAULT_MAX_EXACT_NODES = 16
+
+
+# ---------------------------------------------------------------------------
+# Single-partition checks
+# ---------------------------------------------------------------------------
+def _insulated(
+    graph: Digraph,
+    candidate: frozenset[NodeId],
+    universe: frozenset[NodeId],
+    threshold: int,
+) -> bool:
+    """Return whether every node of ``candidate`` has fewer than ``threshold``
+    in-neighbours in ``universe − candidate``."""
+    outside = universe - candidate
+    return all(
+        graph.in_degree_within(node, outside) < threshold for node in candidate
+    )
+
+
+def violates_condition(
+    graph: Digraph,
+    f: int,
+    faulty: Iterable[NodeId],
+    left: Iterable[NodeId],
+    center: Iterable[NodeId],
+    right: Iterable[NodeId],
+    threshold: int | None = None,
+) -> bool:
+    """Return whether the partition ``F, L, C, R`` violates Theorem 1.
+
+    A violation means ``C ∪ R ⇏ L`` **and** ``L ∪ C ⇏ R``.  The parts must
+    be pairwise disjoint, cover ``V``, satisfy ``|F| ≤ f`` and have non-empty
+    ``L`` and ``R``; otherwise :class:`InvalidPartitionError` is raised.
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    fault_set = frozenset(faulty)
+    left_set = frozenset(left)
+    center_set = frozenset(center)
+    right_set = frozenset(right)
+    parts = [fault_set, left_set, center_set, right_set]
+    covered: set[NodeId] = set()
+    total = 0
+    for part in parts:
+        covered |= part
+        total += len(part)
+    if total != len(covered) or covered != set(graph.nodes):
+        raise InvalidPartitionError(
+            "F, L, C, R must be pairwise disjoint and cover the whole vertex set"
+        )
+    if len(fault_set) > f:
+        raise InvalidPartitionError(
+            f"|F| = {len(fault_set)} exceeds the fault budget f = {f}"
+        )
+    if not left_set or not right_set:
+        raise InvalidPartitionError("L and R must both be non-empty")
+    effective_threshold = f + 1 if threshold is None else threshold
+    universe = left_set | center_set | right_set
+    return _insulated(graph, left_set, universe, effective_threshold) and _insulated(
+        graph, right_set, universe, effective_threshold
+    )
+
+
+def verify_witness(
+    graph: Digraph,
+    f: int,
+    witness: PartitionWitness,
+    threshold: int | None = None,
+) -> bool:
+    """Return whether ``witness`` is a genuine violating partition of ``graph``.
+
+    Used by tests and by the benchmark harness to validate both the paper's
+    hand-constructed witnesses (e.g. the chord-network counter-example of
+    Section 6.3) and witnesses produced by the randomized search.
+    """
+    try:
+        return violates_condition(
+            graph,
+            f,
+            witness.faulty,
+            witness.left,
+            witness.center,
+            witness.right,
+            threshold=threshold,
+        )
+    except InvalidPartitionError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Fast screens (Corollaries 2 and 3)
+# ---------------------------------------------------------------------------
+def passes_count_screen(n: int, f: int) -> bool:
+    """Corollary 2 screen: a correct iterative algorithm requires ``n > 3f``.
+
+    ``f = 0`` needs at least one node (consensus of an empty system is
+    undefined); the paper additionally assumes ``n ≥ 2`` throughout.
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    return n > 3 * f
+
+
+def passes_in_degree_screen(graph: Digraph, f: int) -> bool:
+    """Corollary 3 screen: with ``f > 0`` every node needs in-degree ``≥ 2f + 1``.
+
+    For ``f = 0`` the corollary imposes no constraint, so the screen passes.
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if f == 0:
+        return True
+    return minimum_in_degree(graph) >= 2 * f + 1
+
+
+# ---------------------------------------------------------------------------
+# Structural sufficient shortcuts
+# ---------------------------------------------------------------------------
+def find_core_clique(graph: Digraph, f: int) -> frozenset[NodeId] | None:
+    """Return a set ``K`` of ``2f + 1`` nodes forming a core structure, if any.
+
+    A *core structure* (generalising Definition 4 to arbitrary supergraphs) is
+    a set ``K`` of ``2f + 1`` nodes such that every node of ``K`` has
+    bidirectional edges to **every** other node of the graph.  A graph
+    containing a core structure is a supergraph of a core network, and since
+    the Theorem-1 condition is monotone under edge additions, it satisfies the
+    condition whenever ``n > 3f``.
+
+    The search is cheap: a node can belong to ``K`` only if it is
+    bidirectionally connected to all other nodes, so we simply collect such
+    nodes and take the first ``2f + 1`` of them (sorted for determinism).
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    required = 2 * f + 1
+    nodes = graph.nodes
+    if len(nodes) < required:
+        return None
+    hubs = [
+        node
+        for node in sorted(nodes, key=repr)
+        if all(
+            graph.has_edge(node, other) and graph.has_edge(other, node)
+            for other in nodes
+            if other != node
+        )
+    ]
+    if len(hubs) < required:
+        return None
+    return frozenset(hubs[:required])
+
+
+def is_core_network(graph: Digraph, f: int) -> bool:
+    """Return whether ``graph`` contains a core structure (Definition 4) and
+    has ``n > 3f`` nodes, which together guarantee the Theorem-1 condition."""
+    if not passes_count_screen(graph.number_of_nodes, f):
+        return False
+    return find_core_clique(graph, f) is not None
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive search
+# ---------------------------------------------------------------------------
+def _iter_fault_sets(
+    nodes: tuple[NodeId, ...], f: int
+) -> Iterator[frozenset[NodeId]]:
+    """Yield every subset of ``nodes`` of size ``0 … f`` (the candidate ``F``)."""
+    for size in range(min(f, len(nodes)) + 1):
+        for subset in combinations(nodes, size):
+            yield frozenset(subset)
+
+
+def maximal_insulated_subset(
+    graph: Digraph,
+    candidate_pool: frozenset[NodeId],
+    universe: frozenset[NodeId],
+    threshold: int,
+) -> frozenset[NodeId]:
+    """Return the unique maximal ``R ⊆ candidate_pool`` such that every node of
+    ``R`` has fewer than ``threshold`` in-neighbours in ``universe − R``.
+
+    Computed by the standard deletion closure: repeatedly remove any node that
+    already receives ``threshold`` or more values from outside the current
+    candidate set; nodes removed can belong to no insulated subset of the
+    pool, so the fixed point is maximal.  An empty result means no non-empty
+    insulated subset exists inside ``candidate_pool``.
+    """
+    current = set(candidate_pool)
+    changed = True
+    while changed and current:
+        changed = False
+        outside = universe - current
+        for node in list(current):
+            if graph.in_degree_within(node, outside) >= threshold:
+                current.discard(node)
+                outside = universe - current
+                changed = True
+    return frozenset(current)
+
+
+def find_violating_partition(
+    graph: Digraph,
+    f: int,
+    threshold: int | None = None,
+    max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+) -> PartitionWitness | None:
+    """Exhaustively search for a partition violating Theorem 1.
+
+    Returns a :class:`~repro.types.PartitionWitness` if one exists and
+    ``None`` otherwise (i.e. ``None`` certifies that the graph satisfies the
+    condition for this ``f``).  The search enumerates every fault set ``F``
+    of size ``≤ f`` and every candidate insulated set ``L ⊆ V − F``; the
+    matching ``R`` is obtained by the maximal-insulated-subset closure (see
+    the module docstring), so the overall cost is
+    ``Σ_{|F| ≤ f} C(n, |F|) · 2^{n − |F|}`` insulated-set checks.
+
+    Raises :class:`~repro.exceptions.GraphTooLargeError` when the graph has
+    more than ``max_nodes`` nodes; raise the cap explicitly to force the
+    enumeration on larger graphs.
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    nodes = tuple(sorted(graph.nodes, key=repr))
+    n = len(nodes)
+    if n > max_nodes:
+        raise GraphTooLargeError(n, max_nodes)
+    if n < 2:
+        # With a single node there is no pair of non-empty disjoint L and R,
+        # so the condition holds vacuously.
+        return None
+    effective_threshold = f + 1 if threshold is None else threshold
+
+    for fault_set in _iter_fault_sets(nodes, f):
+        remaining = tuple(node for node in nodes if node not in fault_set)
+        universe = frozenset(remaining)
+        if len(remaining) < 2:
+            continue
+        # Enumerate candidate L sets (non-empty proper subsets of the
+        # remaining nodes).  Iterating bitmasks keeps the enumeration cheap
+        # and deterministic.
+        count = len(remaining)
+        for mask in range(1, (1 << count) - 1):
+            left = frozenset(
+                remaining[index] for index in range(count) if mask & (1 << index)
+            )
+            if not _insulated(graph, left, universe, effective_threshold):
+                continue
+            pool = universe - left
+            right = maximal_insulated_subset(
+                graph, pool, universe, effective_threshold
+            )
+            if right:
+                center = universe - left - right
+                return PartitionWitness(
+                    faulty=fault_set, left=left, center=center, right=right
+                )
+    return None
+
+
+def satisfies_theorem1(
+    graph: Digraph,
+    f: int,
+    threshold: int | None = None,
+    max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+) -> bool:
+    """Return whether ``graph`` satisfies the Theorem-1 condition for ``f``.
+
+    Thin wrapper around :func:`find_violating_partition`.
+    """
+    return (
+        find_violating_partition(
+            graph, f, threshold=threshold, max_nodes=max_nodes
+        )
+        is None
+    )
+
+
+# ---------------------------------------------------------------------------
+# Combined feasibility check
+# ---------------------------------------------------------------------------
+def check_feasibility(
+    graph: Digraph,
+    f: int,
+    max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+    use_structural_shortcuts: bool = True,
+) -> FeasibilityResult:
+    """Decide whether iterative approximate Byzantine consensus tolerating
+    ``f`` faults is possible on ``graph`` (synchronous model).
+
+    The verdict is produced by the cheapest applicable method:
+
+    1. Corollary-2 screen (``n > 3f``) — rejects immediately when violated.
+    2. Corollary-3 screen (in-degree ``≥ 2f + 1`` for ``f > 0``) — rejects
+       immediately when violated.
+    3. Structural shortcuts — a complete graph with ``n > 3f`` or a graph
+       containing a core structure (Definition 4) satisfies the condition.
+    4. The exhaustive Theorem-1 search, which is exact and also supplies a
+       witness partition when the condition fails.
+
+    The returned :class:`~repro.types.FeasibilityResult` records which method
+    decided and, for negative verdicts from the exhaustive search, the
+    violating partition.
+    """
+    n = graph.number_of_nodes
+    if not passes_count_screen(n, f):
+        return FeasibilityResult(
+            satisfied=False,
+            f=f,
+            method="screen:n>3f",
+            reason=f"n = {n} does not exceed 3f = {3 * f} (Corollary 2)",
+        )
+    if not passes_in_degree_screen(graph, f):
+        return FeasibilityResult(
+            satisfied=False,
+            f=f,
+            method="screen:in-degree",
+            reason=(
+                f"minimum in-degree {minimum_in_degree(graph)} is below "
+                f"2f + 1 = {2 * f + 1} (Corollary 3)"
+            ),
+        )
+    if use_structural_shortcuts:
+        if is_complete(graph):
+            return FeasibilityResult(
+                satisfied=True,
+                f=f,
+                method="structural:complete",
+                reason=f"complete graph with n = {n} > 3f = {3 * f}",
+            )
+        if f > 0 and is_core_network(graph, f):
+            return FeasibilityResult(
+                satisfied=True,
+                f=f,
+                method="structural:core-network",
+                reason="graph contains a core structure (Definition 4)",
+            )
+    witness = find_violating_partition(graph, f, max_nodes=max_nodes)
+    if witness is None:
+        return FeasibilityResult(
+            satisfied=True,
+            f=f,
+            method="exhaustive",
+            reason="no violating partition exists",
+        )
+    return FeasibilityResult(
+        satisfied=False,
+        f=f,
+        witness=witness,
+        method="exhaustive",
+        reason=f"violating partition found: {witness.describe()}",
+    )

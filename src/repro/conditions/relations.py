@@ -1,0 +1,220 @@
+"""The paper's set relations: ``⇒``, ``in(A ⇒ B)`` and propagation.
+
+Definition 1:
+    For non-empty disjoint node sets ``A`` and ``B``, ``A ⇒ B`` iff there is a
+    node ``v ∈ B`` with at least ``f + 1`` incoming links from nodes in ``A``.
+
+Definition 2:
+    ``in(A ⇒ B)`` is the set of all nodes in ``B`` that each have at least
+    ``f + 1`` incoming links from nodes in ``A``.
+
+Definition 3:
+    ``A`` *propagates to* ``B`` in ``l`` steps if repeatedly moving
+    ``in(A_τ ⇒ B_τ)`` from ``B_τ`` into ``A_τ`` exhausts ``B`` after ``l``
+    steps (with every intermediate step moving at least one node).
+
+All functions take the threshold ``f + 1`` explicitly (as ``threshold``) so the
+same machinery serves both the synchronous condition (threshold ``f + 1``) and
+the asynchronous variant of Section 7 (threshold ``2f + 1``).  Convenience
+wrappers that accept ``f`` directly are provided for the synchronous case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import InvalidParameterError, InvalidPartitionError
+from repro.graphs.digraph import Digraph
+from repro.types import NodeId, PropagationResult
+
+
+def _validate_threshold(threshold: int) -> None:
+    if threshold < 1:
+        raise InvalidParameterError(
+            f"the ⇒ threshold must be >= 1 (it is f + 1 or 2f + 1), got {threshold}"
+        )
+
+
+def _as_frozen(nodes: Iterable[NodeId]) -> frozenset[NodeId]:
+    return nodes if isinstance(nodes, frozenset) else frozenset(nodes)
+
+
+def _validate_disjoint_subsets(
+    graph: Digraph, source_set: frozenset[NodeId], target_set: frozenset[NodeId]
+) -> None:
+    unknown = (source_set | target_set) - graph.nodes
+    if unknown:
+        raise InvalidPartitionError(
+            f"nodes {sorted(unknown, key=repr)!r} are not in the graph"
+        )
+    if source_set & target_set:
+        raise InvalidPartitionError(
+            "the sets of the ⇒ relation must be disjoint; found overlap "
+            f"{sorted(source_set & target_set, key=repr)!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Definition 1 and 2
+# ---------------------------------------------------------------------------
+def influenced_set(
+    graph: Digraph,
+    source_set: Iterable[NodeId],
+    target_set: Iterable[NodeId],
+    threshold: int,
+) -> frozenset[NodeId]:
+    """Return ``in(A ⇒ B)`` at the given threshold.
+
+    These are the nodes of ``target_set`` with at least ``threshold`` incoming
+    edges from ``source_set``.  Following the paper's convention, the result
+    is empty when ``A ⇏ B``.
+    """
+    _validate_threshold(threshold)
+    sources = _as_frozen(source_set)
+    targets = _as_frozen(target_set)
+    _validate_disjoint_subsets(graph, sources, targets)
+    return frozenset(
+        node
+        for node in targets
+        if graph.in_degree_within(node, sources) >= threshold
+    )
+
+
+def reaches(
+    graph: Digraph,
+    source_set: Iterable[NodeId],
+    target_set: Iterable[NodeId],
+    threshold: int,
+) -> bool:
+    """Return whether ``A ⇒ B`` at the given threshold (Definition 1).
+
+    Empty ``A`` or ``B`` never satisfy the relation (the definition requires
+    non-empty sets, and an empty ``A`` cannot supply any incoming edge).
+    """
+    _validate_threshold(threshold)
+    sources = _as_frozen(source_set)
+    targets = _as_frozen(target_set)
+    _validate_disjoint_subsets(graph, sources, targets)
+    if not sources or not targets:
+        return False
+    if len(sources) < threshold:
+        # No node can have `threshold` in-neighbours inside a smaller set.
+        return False
+    return any(
+        graph.in_degree_within(node, sources) >= threshold for node in targets
+    )
+
+
+def reaches_f(
+    graph: Digraph,
+    source_set: Iterable[NodeId],
+    target_set: Iterable[NodeId],
+    f: int,
+) -> bool:
+    """Synchronous-model convenience wrapper: ``A ⇒ B`` with threshold ``f + 1``."""
+    return reaches(graph, source_set, target_set, f + 1)
+
+
+def influenced_set_f(
+    graph: Digraph,
+    source_set: Iterable[NodeId],
+    target_set: Iterable[NodeId],
+    f: int,
+) -> frozenset[NodeId]:
+    """Synchronous-model convenience wrapper: ``in(A ⇒ B)`` with threshold ``f + 1``."""
+    return influenced_set(graph, source_set, target_set, f + 1)
+
+
+# ---------------------------------------------------------------------------
+# Definition 3: propagation
+# ---------------------------------------------------------------------------
+def propagates(
+    graph: Digraph,
+    source_set: Iterable[NodeId],
+    target_set: Iterable[NodeId],
+    threshold: int,
+) -> PropagationResult:
+    """Determine whether ``A`` propagates to ``B`` (Definition 3).
+
+    Returns a :class:`~repro.types.PropagationResult` holding the propagating
+    sequences ``A_0 … A_l`` and ``B_0 … B_l``.  When propagation fails, the
+    sequences returned are the maximal prefix computed before the expansion
+    stalled (``in(A_k ⇒ B_k) = ∅`` with ``B_k ≠ ∅``), which is exactly the
+    configuration used inside the proof of Lemma 2.
+    """
+    _validate_threshold(threshold)
+    sources = _as_frozen(source_set)
+    targets = _as_frozen(target_set)
+    _validate_disjoint_subsets(graph, sources, targets)
+    if not sources or not targets:
+        raise InvalidPartitionError(
+            "propagation is defined only for non-empty disjoint sets A and B"
+        )
+
+    a_sequence: list[frozenset[NodeId]] = [sources]
+    b_sequence: list[frozenset[NodeId]] = [targets]
+    current_sources = sources
+    current_targets = targets
+    while current_targets:
+        moved = influenced_set(graph, current_sources, current_targets, threshold)
+        if not moved:
+            return PropagationResult(
+                propagates=False,
+                steps=len(a_sequence) - 1,
+                a_sets=tuple(a_sequence),
+                b_sets=tuple(b_sequence),
+            )
+        current_sources = current_sources | moved
+        current_targets = current_targets - moved
+        a_sequence.append(current_sources)
+        b_sequence.append(current_targets)
+    return PropagationResult(
+        propagates=True,
+        steps=len(a_sequence) - 1,
+        a_sets=tuple(a_sequence),
+        b_sets=tuple(b_sequence),
+    )
+
+
+def propagates_f(
+    graph: Digraph,
+    source_set: Iterable[NodeId],
+    target_set: Iterable[NodeId],
+    f: int,
+) -> PropagationResult:
+    """Synchronous-model convenience wrapper for :func:`propagates`."""
+    return propagates(graph, source_set, target_set, f + 1)
+
+
+def propagation_dichotomy(
+    graph: Digraph,
+    set_a: Iterable[NodeId],
+    set_b: Iterable[NodeId],
+    threshold: int,
+) -> tuple[PropagationResult, PropagationResult]:
+    """Compute both propagation directions between ``A`` and ``B``.
+
+    Lemma 2 of the paper states that when the graph satisfies the Theorem-1
+    condition and ``A, B, F`` partition ``V`` (``|F| ≤ f``), at least one of
+    "A propagates to B" / "B propagates to A" holds.  This helper evaluates
+    both directions; the convergence analysis (Lemma 5) uses whichever
+    direction succeeds, preferring the one whose *source* set has the smaller
+    value interval.
+    """
+    forward = propagates(graph, set_a, set_b, threshold)
+    backward = propagates(graph, set_b, set_a, threshold)
+    return forward, backward
+
+
+def propagation_length_bound(n: int, f: int) -> int:
+    """Return the paper's upper bound ``n − f − 1`` on the propagation length.
+
+    Definition 3's discussion notes that ``l`` is at most ``n − f − 1``
+    because the propagating source set must have at least ``f + 1`` nodes and
+    grows by at least one node per step.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    return max(1, n - f - 1)

@@ -1,0 +1,153 @@
+"""Graph robustness notions from the companion literature.
+
+The paper's related-work section cites Zhang & Sundaram [18] and LeBlanc,
+Zhang, Sundaram & Koutsoukos [11, 17], whose characterisations of resilient
+consensus use *r-robustness* and *(r, s)-robustness*.  We implement both so
+that the benchmark harness can compare the Theorem-1 condition with
+``(f + 1, f + 1)``-robustness on the paper's graph families (experiment E11).
+
+Definitions (for a digraph ``G`` with in-neighbour sets ``N⁻``):
+
+* For a node set ``S``, the *r-reachable* subset
+  ``X_S^r = { v ∈ S : |N⁻_v \\ S| ≥ r }`` — the nodes of ``S`` with at least
+  ``r`` in-neighbours outside ``S``.
+* ``G`` is *r-robust* if for every pair of non-empty disjoint node sets
+  ``S₁, S₂`` at least one of them is r-reachable (contains a node with ``≥ r``
+  in-neighbours outside its own set).
+* ``G`` is *(r, s)-robust* if for every pair of non-empty disjoint node sets
+  ``S₁, S₂`` at least one of the following holds:
+  ``|X_{S₁}^r| = |S₁|``, ``|X_{S₂}^r| = |S₂|``, or
+  ``|X_{S₁}^r| + |X_{S₂}^r| ≥ s``.
+
+Both checks are exhaustive (exponential in ``n``) like the exact Theorem-1
+checker, and guarded by the same node-count cap.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphTooLargeError, InvalidParameterError
+from repro.graphs.digraph import Digraph
+from repro.types import NodeId
+
+DEFAULT_MAX_ROBUSTNESS_NODES = 14
+
+
+def r_reachable_subset(graph: Digraph, node_set: frozenset[NodeId], r: int) -> frozenset[NodeId]:
+    """Return ``X_S^r``: the nodes of ``node_set`` with at least ``r``
+    in-neighbours outside ``node_set``."""
+    if r < 1:
+        raise InvalidParameterError(f"r must be >= 1, got {r}")
+    outside = graph.nodes - node_set
+    return frozenset(
+        node
+        for node in node_set
+        if graph.in_degree_within(node, outside) >= r
+    )
+
+
+def _iter_disjoint_pairs(nodes: tuple[NodeId, ...]):
+    """Yield every unordered pair of non-empty disjoint subsets ``(S1, S2)``.
+
+    Each node is assigned to S1, S2 or neither (3^n assignments); unordered
+    pairs are produced once by requiring the smallest participating node to be
+    in S1.
+    """
+    n = len(nodes)
+    # Iterate assignments as base-3 numbers: digit 0 = neither, 1 = S1, 2 = S2.
+    total = 3**n
+    for code in range(total):
+        assignment = code
+        s1: list[NodeId] = []
+        s2: list[NodeId] = []
+        first_participant_side = 0
+        for index in range(n):
+            digit = assignment % 3
+            assignment //= 3
+            if digit == 1:
+                if first_participant_side == 0:
+                    first_participant_side = 1
+                s1.append(nodes[index])
+            elif digit == 2:
+                if first_participant_side == 0:
+                    first_participant_side = 2
+                s2.append(nodes[index])
+        if not s1 or not s2:
+            continue
+        if first_participant_side == 2:
+            # The symmetric assignment with S1/S2 swapped is (or was)
+            # enumerated separately; skip to avoid double work.
+            continue
+        yield frozenset(s1), frozenset(s2)
+
+
+def is_r_robust(
+    graph: Digraph, r: int, max_nodes: int = DEFAULT_MAX_ROBUSTNESS_NODES
+) -> bool:
+    """Return whether ``graph`` is r-robust (exhaustive check)."""
+    if r < 1:
+        raise InvalidParameterError(f"r must be >= 1, got {r}")
+    nodes = tuple(sorted(graph.nodes, key=repr))
+    if len(nodes) > max_nodes:
+        raise GraphTooLargeError(len(nodes), max_nodes)
+    if len(nodes) < 2:
+        return True
+    for s1, s2 in _iter_disjoint_pairs(nodes):
+        if not r_reachable_subset(graph, s1, r) and not r_reachable_subset(
+            graph, s2, r
+        ):
+            return False
+    return True
+
+
+def is_r_s_robust(
+    graph: Digraph,
+    r: int,
+    s: int,
+    max_nodes: int = DEFAULT_MAX_ROBUSTNESS_NODES,
+) -> bool:
+    """Return whether ``graph`` is (r, s)-robust (exhaustive check)."""
+    if r < 1:
+        raise InvalidParameterError(f"r must be >= 1, got {r}")
+    if s < 1:
+        raise InvalidParameterError(f"s must be >= 1, got {s}")
+    nodes = tuple(sorted(graph.nodes, key=repr))
+    if len(nodes) > max_nodes:
+        raise GraphTooLargeError(len(nodes), max_nodes)
+    if len(nodes) < 2:
+        return True
+    for s1, s2 in _iter_disjoint_pairs(nodes):
+        reach1 = r_reachable_subset(graph, s1, r)
+        if len(reach1) == len(s1):
+            continue
+        reach2 = r_reachable_subset(graph, s2, r)
+        if len(reach2) == len(s2):
+            continue
+        if len(reach1) + len(reach2) >= s:
+            continue
+        return False
+    return True
+
+
+def robustness_degree(
+    graph: Digraph, max_nodes: int = DEFAULT_MAX_ROBUSTNESS_NODES
+) -> int:
+    """Return the largest ``r`` such that ``graph`` is r-robust.
+
+    By convention the result is 0 for graphs that are not even 1-robust
+    (disconnected in the robustness sense).  The maximum meaningful value is
+    ``⌈n / 2⌉``, attained by complete graphs.
+    """
+    nodes = tuple(sorted(graph.nodes, key=repr))
+    n = len(nodes)
+    if n > max_nodes:
+        raise GraphTooLargeError(n, max_nodes)
+    if n < 2:
+        return 0
+    best = 0
+    upper = (n + 1) // 2
+    for r in range(1, upper + 1):
+        if is_r_robust(graph, r, max_nodes=max_nodes):
+            best = r
+        else:
+            break
+    return best

@@ -1,0 +1,235 @@
+"""Witness construction and heuristic witness search.
+
+A *witness* is a partition ``F, L, C, R`` demonstrating that a graph violates
+the Theorem-1 condition (or its asynchronous variant).  This module provides
+
+* canonical witnesses for the paper's hand-analysed examples
+  (:func:`chord_n7_f2_witness` for the Section-6.3 counter-example,
+  :func:`hypercube_dimension_cut_witness` for the Figure-3 partition),
+* a randomized witness search (:func:`random_witness_search`) usable on
+  graphs too large for the exhaustive checker — it can *disprove* the
+  condition by exhibiting a witness but can never prove the condition holds,
+* a greedy "grow two insulated islands" heuristic
+  (:func:`greedy_witness_search`) that works well on graphs with obvious
+  bottleneck cuts (barbells, hypercube dimension cuts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conditions.necessary import (
+    maximal_insulated_subset,
+    verify_witness,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs.digraph import Digraph
+from repro.types import NodeId, PartitionWitness
+
+
+# ---------------------------------------------------------------------------
+# Canonical paper witnesses
+# ---------------------------------------------------------------------------
+def chord_n7_f2_witness() -> PartitionWitness:
+    """Return the paper's counter-example for the chord network with
+    ``n = 7, f = 2`` (Section 6.3).
+
+    The paper takes nodes 5 and 6 faulty, ``L = {0, 2}`` and ``R = {1, 3, 4}``:
+    ``L ⇏ R`` because ``|L| < f + 1 = 3``, and ``R ⇏ L`` because
+    ``N⁻_0 ∩ R = {3, 4}`` and ``N⁻_2 ∩ R = {1, 4}`` both have size below 3.
+    """
+    return PartitionWitness(
+        faulty=frozenset({5, 6}),
+        left=frozenset({0, 2}),
+        center=frozenset(),
+        right=frozenset({1, 3, 4}),
+    )
+
+
+def hypercube_dimension_cut_witness(dimension: int, cut_bit: int | None = None) -> PartitionWitness:
+    """Return the Figure-3 style witness for the ``dimension``-cube and ``f ≥ 1``.
+
+    Cutting the hypercube along one dimension leaves every node with exactly
+    one neighbour on the other side, so with ``F = ∅`` and ``C = ∅`` neither
+    half ``⇒`` the other at threshold ``f + 1 ≥ 2``.  By default the highest
+    bit is cut, reproducing the paper's ``{0,1,2,3}`` vs ``{4,5,6,7}`` split
+    for ``dimension = 3``.
+    """
+    from repro.graphs.generators import hypercube_dimension_cut
+
+    if dimension < 1:
+        raise InvalidParameterError(f"dimension must be >= 1, got {dimension}")
+    bit = dimension - 1 if cut_bit is None else cut_bit
+    low, high = hypercube_dimension_cut(dimension, bit)
+    return PartitionWitness(
+        faulty=frozenset(), left=low, center=frozenset(), right=high
+    )
+
+
+# ---------------------------------------------------------------------------
+# Heuristic searches
+# ---------------------------------------------------------------------------
+def _witness_from_left(
+    graph: Digraph,
+    fault_set: frozenset[NodeId],
+    left: frozenset[NodeId],
+    threshold: int,
+) -> PartitionWitness | None:
+    """Try to complete a candidate ``L`` into a full witness for fault set ``F``.
+
+    ``L`` must itself be insulated in ``V − F``; the matching ``R`` is the
+    maximal insulated subset of the remainder, and ``C`` is whatever is left.
+    Returns ``None`` when no completion exists.
+    """
+    universe = graph.nodes - fault_set
+    if not left or left - universe:
+        return None
+    outside = universe - left
+    if any(graph.in_degree_within(node, outside) >= threshold for node in left):
+        return None
+    right = maximal_insulated_subset(graph, outside, universe, threshold)
+    if not right:
+        return None
+    return PartitionWitness(
+        faulty=fault_set,
+        left=left,
+        center=universe - left - right,
+        right=right,
+    )
+
+
+def greedy_witness_search(
+    graph: Digraph,
+    f: int,
+    threshold: int | None = None,
+) -> PartitionWitness | None:
+    """Deterministic greedy search for a violating partition.
+
+    For every node ``v`` (as a seed) and every fault set consisting of up to
+    ``f`` highest-in-degree neighbours of ``v``, the search grows ``L`` from
+    ``{v}`` by repeatedly absorbing the in-neighbours that prevent ``L`` from
+    being insulated, then tries to complete the candidate into a witness.
+    The search is sound (every returned witness is verified) but incomplete:
+    ``None`` does not prove the condition holds.
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    effective_threshold = f + 1 if threshold is None else threshold
+    nodes = sorted(graph.nodes, key=repr)
+    n = len(nodes)
+
+    for seed in nodes:
+        # Candidate fault sets: empty, and the up-to-f in-neighbours of the
+        # seed with the largest in-degree (knocking out well-connected
+        # neighbours is the most effective way to isolate the seed).
+        neighbor_by_degree = sorted(
+            graph.in_neighbors(seed), key=lambda v: (-graph.in_degree(v), repr(v))
+        )
+        fault_candidates = [frozenset()]
+        if f > 0 and neighbor_by_degree:
+            fault_candidates.append(frozenset(neighbor_by_degree[:f]))
+        for fault_set in fault_candidates:
+            if seed in fault_set:
+                continue
+            universe = graph.nodes - fault_set
+            left: set[NodeId] = {seed}
+            # Absorb offending in-neighbours until L is insulated or too big.
+            for _ in range(n):
+                outside = universe - left
+                offenders = [
+                    node
+                    for node in left
+                    if graph.in_degree_within(node, outside) >= effective_threshold
+                ]
+                if not offenders:
+                    break
+                grew = False
+                for node in offenders:
+                    external = sorted(
+                        graph.in_neighbors_within(node, outside), key=repr
+                    )
+                    needed = (
+                        graph.in_degree_within(node, outside)
+                        - effective_threshold
+                        + 1
+                    )
+                    for absorb in external[:needed]:
+                        left.add(absorb)
+                        grew = True
+                if not grew:
+                    break
+            if len(left) >= len(universe):
+                continue
+            witness = _witness_from_left(
+                graph, fault_set, frozenset(left), effective_threshold
+            )
+            if witness is not None and verify_witness(
+                graph, f, witness, threshold=effective_threshold
+            ):
+                return witness
+    return None
+
+
+def random_witness_search(
+    graph: Digraph,
+    f: int,
+    attempts: int = 200,
+    threshold: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> PartitionWitness | None:
+    """Randomized search for a violating partition.
+
+    Each attempt samples a fault set ``F`` (uniform size ``0 … f``) and a seed
+    set ``L₀``, computes the maximal insulated subset of ``V − F`` containing
+    the seeds' side, and tries to complete it into a witness.  Sound but
+    incomplete; useful on graphs beyond the exhaustive checker's cap.
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if attempts < 1:
+        raise InvalidParameterError(f"attempts must be >= 1, got {attempts}")
+    effective_threshold = f + 1 if threshold is None else threshold
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    nodes = sorted(graph.nodes, key=repr)
+    n = len(nodes)
+    if n < 2:
+        return None
+
+    for _ in range(attempts):
+        fault_size = int(generator.integers(0, f + 1)) if f > 0 else 0
+        fault_indices = generator.choice(n, size=fault_size, replace=False)
+        fault_set = frozenset(nodes[int(index)] for index in fault_indices)
+        universe = graph.nodes - fault_set
+        remaining = sorted(universe, key=repr)
+        if len(remaining) < 2:
+            continue
+        # Sample a random bipartition of the remaining nodes; shrink each side
+        # to its maximal insulated subset and keep the pair if both survive.
+        side_mask = generator.random(len(remaining)) < 0.5
+        left_pool = frozenset(
+            node for node, flag in zip(remaining, side_mask) if flag
+        )
+        right_pool = universe - left_pool
+        if not left_pool or not right_pool:
+            continue
+        left = maximal_insulated_subset(
+            graph, left_pool, universe, effective_threshold
+        )
+        if not left:
+            continue
+        right = maximal_insulated_subset(
+            graph, universe - left, universe, effective_threshold
+        )
+        if not right:
+            continue
+        witness = PartitionWitness(
+            faulty=fault_set,
+            left=left,
+            center=universe - left - right,
+            right=right,
+        )
+        if verify_witness(graph, f, witness, threshold=effective_threshold):
+            return witness
+    return None

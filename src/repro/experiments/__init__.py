@@ -1,0 +1,86 @@
+"""Experiment drivers that regenerate every result of the paper (and the
+ablations listed in DESIGN.md).  Each driver returns plain rows (lists of
+dictionaries) so that the benchmark harness can both time them and assert the
+qualitative shape the paper reports, while the examples print them."""
+
+from repro.experiments.ablation import (
+    ablation_summary,
+    algorithm_ablation,
+    default_ablation_graphs,
+    rule_zoo,
+)
+from repro.experiments.asynchronous import async_condition_sweep, async_simulation_study
+from repro.experiments.checker import (
+    checker_agreement_study,
+    checker_scaling_cases,
+    checker_test_battery,
+    exhaustive_checker_workload,
+)
+from repro.experiments.convergence_rate import (
+    convergence_rate_study,
+    default_rate_cases,
+)
+from repro.experiments.corollaries import (
+    corollary2_sweep,
+    corollary3_edge_removal,
+    low_in_degree_always_fails,
+)
+from repro.experiments.families import (
+    chord_case_studies,
+    chord_feasibility_sweep,
+    core_network_minimality_comparison,
+    core_network_study,
+    hypercube_study,
+)
+from repro.experiments.necessity import (
+    NecessityDemonstration,
+    demonstrate_necessity,
+    necessity_rows,
+)
+from repro.experiments.reporting import (
+    format_table,
+    print_table,
+    summarize_booleans,
+)
+from repro.experiments.robustness import default_robustness_cases, robustness_comparison
+from repro.experiments.validity import (
+    adversary_zoo,
+    count_validity_failures,
+    default_validity_graphs,
+    validity_study,
+)
+
+__all__ = [
+    "ablation_summary",
+    "algorithm_ablation",
+    "default_ablation_graphs",
+    "rule_zoo",
+    "async_condition_sweep",
+    "async_simulation_study",
+    "checker_agreement_study",
+    "checker_scaling_cases",
+    "checker_test_battery",
+    "exhaustive_checker_workload",
+    "convergence_rate_study",
+    "default_rate_cases",
+    "corollary2_sweep",
+    "corollary3_edge_removal",
+    "low_in_degree_always_fails",
+    "chord_case_studies",
+    "chord_feasibility_sweep",
+    "core_network_minimality_comparison",
+    "core_network_study",
+    "hypercube_study",
+    "NecessityDemonstration",
+    "demonstrate_necessity",
+    "necessity_rows",
+    "format_table",
+    "print_table",
+    "summarize_booleans",
+    "default_robustness_cases",
+    "robustness_comparison",
+    "adversary_zoo",
+    "count_validity_failures",
+    "default_validity_graphs",
+    "validity_study",
+]

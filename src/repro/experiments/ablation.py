@@ -1,0 +1,127 @@
+"""Experiment E12 (ablation) — update-rule comparison under attack.
+
+Compares the paper's Algorithm 1 (trimmed mean) with W-MSR, the trimmed
+midpoint, the median and the non-fault-tolerant linear average on feasible
+graphs under the same adversaries.  The qualitative shape the paper implies:
+
+* trimmed mean and W-MSR preserve validity and converge,
+* the plain average is dragged outside the input hull (validity violated) and
+  generally fails to converge to a legitimate value,
+* the median and midpoint sit in between (valid on these families, but without
+  the paper's general guarantee).
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import ByzantineStrategy
+from repro.adversary.selection import highest_out_degree_fault_set
+from repro.adversary.strategies import ExtremePushStrategy, StaticValueStrategy
+from repro.algorithms.base import UpdateRule
+from repro.algorithms.linear import LinearAverageRule, MedianRule
+from repro.algorithms.trimmed_mean import TrimmedMeanRule, TrimmedMidpointRule
+from repro.algorithms.wmsr import WMSRRule
+from repro.graphs.digraph import Digraph
+from repro.graphs.generators import complete_graph, core_network
+from repro.simulation.engine import run_synchronous
+from repro.simulation.inputs import linear_ramp_inputs
+
+
+def default_ablation_graphs() -> list[tuple[str, Digraph, int]]:
+    """Return the labelled feasible graphs used by the rule ablation."""
+    return [
+        ("complete n=7 f=2", complete_graph(7), 2),
+        ("core n=7 f=2", core_network(7, 2), 2),
+        ("core n=10 f=3", core_network(10, 3), 3),
+    ]
+
+
+def rule_zoo(f: int) -> list[UpdateRule]:
+    """Return one configured instance of every update rule in the library."""
+    return [
+        TrimmedMeanRule(f),
+        WMSRRule(f),
+        TrimmedMidpointRule(f),
+        MedianRule(f),
+        LinearAverageRule(f),
+    ]
+
+
+def adversaries_for_ablation() -> list[ByzantineStrategy]:
+    """Return the two adversaries used by the ablation (one per failure mode).
+
+    The static far-away value exposes validity violations of averaging rules;
+    the extreme-pushing adversary stresses convergence.
+    """
+    return [StaticValueStrategy(1000.0), ExtremePushStrategy(delta=5.0)]
+
+
+def algorithm_ablation(
+    graphs: list[tuple[str, Digraph, int]] | None = None,
+    rounds: int = 150,
+    tolerance: float = 1e-6,
+) -> list[dict[str, object]]:
+    """Cross every (graph, rule, adversary) combination and record outcomes."""
+    chosen = graphs if graphs is not None else default_ablation_graphs()
+    rows: list[dict[str, object]] = []
+    for label, graph, f in chosen:
+        faulty = highest_out_degree_fault_set(graph, f)
+        inputs = linear_ramp_inputs(graph.nodes, 0.0, 1.0)
+        hull_low = min(
+            value for node, value in inputs.items() if node not in faulty
+        )
+        hull_high = max(
+            value for node, value in inputs.items() if node not in faulty
+        )
+        for rule in rule_zoo(f):
+            for adversary in adversaries_for_ablation():
+                outcome = run_synchronous(
+                    graph=graph,
+                    rule=rule,
+                    inputs=inputs,
+                    faulty=faulty,
+                    adversary=adversary,
+                    max_rounds=rounds,
+                    tolerance=tolerance,
+                )
+                final_within_hull = all(
+                    hull_low - 1e-9 <= value <= hull_high + 1e-9
+                    for value in outcome.final_values.values()
+                )
+                rows.append(
+                    {
+                        "graph": label,
+                        "f": f,
+                        "rule": rule.name,
+                        "adversary": adversary.name,
+                        "converged": outcome.converged,
+                        "validity_ok": outcome.validity_ok,
+                        "final_within_input_hull": final_within_hull,
+                        "rounds": outcome.rounds_executed,
+                        "final_spread": outcome.final_spread,
+                    }
+                )
+    return rows
+
+
+def ablation_summary(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+    """Aggregate ablation rows per rule: validity failures and convergence counts."""
+    by_rule: dict[str, dict[str, int]] = {}
+    for row in rows:
+        entry = by_rule.setdefault(
+            str(row["rule"]),
+            {"cases": 0, "validity_failures": 0, "hull_escapes": 0, "converged": 0},
+        )
+        entry["cases"] += 1
+        entry["validity_failures"] += 0 if row["validity_ok"] else 1
+        entry["hull_escapes"] += 0 if row["final_within_input_hull"] else 1
+        entry["converged"] += 1 if row["converged"] else 0
+    return [
+        {
+            "rule": rule,
+            "cases": counts["cases"],
+            "validity_failures": counts["validity_failures"],
+            "hull_escapes": counts["hull_escapes"],
+            "converged": counts["converged"],
+        }
+        for rule, counts in sorted(by_rule.items())
+    ]

@@ -1,0 +1,143 @@
+"""Experiment E10 (ablation) — behaviour of the condition checkers.
+
+Two questions:
+
+1. *Agreement* — do the cheap screens, the greedy witness search and the
+   randomized witness search agree with the exact (exhaustive) checker on a
+   battery of small graphs?  Screens may only produce false "pass" (they are
+   necessary, not sufficient), and the heuristic searches may only produce
+   false "pass" (they are sound when they report a witness); neither may ever
+   contradict the exact checker in the other direction.
+2. *Cost* — how does the exhaustive checker's running time scale with ``n``
+   and ``f`` compared to the screens and heuristics?  (Timed by the
+   pytest-benchmark harness; this module only supplies the workloads.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conditions.necessary import (
+    check_feasibility,
+    find_violating_partition,
+    passes_count_screen,
+    passes_in_degree_screen,
+    verify_witness,
+)
+from repro.conditions.witnesses import greedy_witness_search, random_witness_search
+from repro.graphs.digraph import Digraph
+from repro.graphs.generators import (
+    butterfly_barbell,
+    chord_network,
+    complete_graph,
+    core_network,
+    hypercube,
+    ring_lattice,
+    undirected_ring,
+)
+from repro.graphs.random_graphs import erdos_renyi_digraph, k_in_regular_digraph
+
+
+def checker_test_battery(seed: int = 17) -> list[tuple[str, Digraph, int]]:
+    """Return a labelled battery of small graphs covering both verdicts."""
+    rng = np.random.default_rng(seed)
+    battery: list[tuple[str, Digraph, int]] = [
+        ("complete n=4 f=1", complete_graph(4), 1),
+        ("complete n=6 f=1", complete_graph(6), 1),
+        ("complete n=7 f=2", complete_graph(7), 2),
+        ("core n=7 f=2", core_network(7, 2), 2),
+        ("core n=5 f=1", core_network(5, 1), 1),
+        ("chord n=5 f=1", chord_network(5, 1), 1),
+        ("chord n=7 f=2", chord_network(7, 2), 2),
+        ("chord n=8 f=1", chord_network(8, 1), 1),
+        ("hypercube d=3 f=1", hypercube(3), 1),
+        ("ring n=6 f=1", undirected_ring(6), 1),
+        ("ring-lattice n=8 k=3 f=1", ring_lattice(8, 3), 1),
+        ("barbell 4+4 bridge=1 f=1", butterfly_barbell(4, 1), 1),
+        ("barbell 4+4 bridge=3 f=1", butterfly_barbell(4, 3), 1),
+    ]
+    for index in range(3):
+        battery.append(
+            (
+                f"erdos-renyi n=8 p=0.6 #{index}",
+                erdos_renyi_digraph(8, 0.6, rng=rng),
+                1,
+            )
+        )
+        battery.append(
+            (
+                f"k-in-regular n=8 k=4 #{index}",
+                k_in_regular_digraph(8, 4, rng=rng),
+                1,
+            )
+        )
+    return battery
+
+
+def checker_agreement_study(
+    battery: list[tuple[str, Digraph, int]] | None = None,
+    random_attempts: int = 300,
+    seed: int = 29,
+) -> list[dict[str, object]]:
+    """Compare the exact checker against screens and heuristic searches.
+
+    Every row records the exact verdict, the screen verdicts and whether each
+    heuristic found a witness; the ``consistent`` column is true when no
+    method contradicts the exact verdict in the disallowed direction.
+    """
+    chosen = battery if battery is not None else checker_test_battery()
+    rows: list[dict[str, object]] = []
+    for label, graph, f in chosen:
+        exact_witness = find_violating_partition(graph, f)
+        exact_holds = exact_witness is None
+        screens_pass = passes_count_screen(
+            graph.number_of_nodes, f
+        ) and passes_in_degree_screen(graph, f)
+        greedy = greedy_witness_search(graph, f)
+        randomized = random_witness_search(
+            graph, f, attempts=random_attempts, rng=seed
+        )
+        greedy_valid = greedy is None or verify_witness(graph, f, greedy)
+        randomized_valid = randomized is None or verify_witness(graph, f, randomized)
+        consistent = True
+        # Screens are necessary conditions: they may pass on infeasible graphs
+        # but must never fail on feasible ones.
+        if exact_holds and not screens_pass:
+            consistent = False
+        # Heuristic witnesses must be genuine (sound) and can only exist when
+        # the exact checker also finds the graph infeasible.
+        if greedy is not None and (exact_holds or not greedy_valid):
+            consistent = False
+        if randomized is not None and (exact_holds or not randomized_valid):
+            consistent = False
+        rows.append(
+            {
+                "case": label,
+                "n": graph.number_of_nodes,
+                "f": f,
+                "exact_condition_holds": exact_holds,
+                "screens_pass": screens_pass,
+                "greedy_found_witness": greedy is not None,
+                "random_found_witness": randomized is not None,
+                "consistent": consistent,
+            }
+        )
+    return rows
+
+
+def checker_scaling_cases() -> list[tuple[str, Digraph, int]]:
+    """Return cases of growing size for the checker-cost benchmark."""
+    return [
+        ("core n=7 f=2", core_network(7, 2), 2),
+        ("core n=10 f=3", core_network(10, 3), 3),
+        ("chord n=9 f=2", chord_network(9, 2), 2),
+        ("chord n=11 f=2", chord_network(11, 2), 2),
+        ("hypercube d=3 f=1", hypercube(3), 1),
+        ("hypercube d=4 f=1", hypercube(4), 1),
+    ]
+
+
+def exhaustive_checker_workload(case: tuple[str, Digraph, int]) -> bool:
+    """Benchmark payload: run the full feasibility pipeline on one case."""
+    _, graph, f = case
+    return check_feasibility(graph, f, use_structural_shortcuts=False).satisfied

@@ -1,0 +1,148 @@
+"""Experiment E1 — necessity of the Theorem-1 condition.
+
+For graphs that *violate* the condition, the necessity proof constructs an
+explicit adversarial scenario: give the nodes of ``L`` the input ``m``, the
+nodes of ``R`` the input ``M > m``, nodes of ``C`` inputs inside ``[m, M]``,
+and let the faulty nodes in ``F`` send ``m⁻ < m`` to ``L``, ``M⁺ > M`` to
+``R`` and in-range values to ``C``.  Any validity-respecting iterative
+algorithm then keeps ``L`` at ``m`` and ``R`` at ``M`` forever.
+
+The driver reproduces this computationally: it finds (or is given) a violating
+partition, mounts the :class:`~repro.adversary.strategies.SplitBrainStrategy`
+attack, runs a chosen update rule, and reports that
+
+* the spread never shrinks below the gap ``M − m`` (no convergence), while
+* validity still holds (the algorithm itself is well behaved — it is the graph
+  that makes consensus impossible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.strategies import SplitBrainStrategy
+from repro.algorithms.base import UpdateRule
+from repro.algorithms.trimmed_mean import TrimmedMeanRule
+from repro.conditions.necessary import find_violating_partition, verify_witness
+from repro.exceptions import InvalidParameterError
+from repro.graphs.digraph import Digraph
+from repro.simulation.engine import run_synchronous
+from repro.simulation.inputs import split_inputs_from_witness
+from repro.types import ConsensusOutcome, PartitionWitness
+
+
+@dataclass(frozen=True)
+class NecessityDemonstration:
+    """Outcome of one split-brain attack on a condition-violating graph.
+
+    Attributes
+    ----------
+    witness:
+        The violating partition used to mount the attack.
+    outcome:
+        The simulation outcome.
+    stalled:
+        Whether the fault-free spread stayed at (or above) its initial value —
+        the non-convergence the necessity proof predicts.
+    left_stuck / right_stuck:
+        Whether every node of ``L`` ended exactly at the low input and every
+        node of ``R`` at the high input.
+    """
+
+    witness: PartitionWitness
+    outcome: ConsensusOutcome
+    stalled: bool
+    left_stuck: bool
+    right_stuck: bool
+
+
+def demonstrate_necessity(
+    graph: Digraph,
+    f: int,
+    witness: PartitionWitness | None = None,
+    rule: UpdateRule | None = None,
+    rounds: int = 50,
+    low_value: float = 0.0,
+    high_value: float = 1.0,
+) -> NecessityDemonstration:
+    """Mount the necessity-proof attack on ``graph`` and report the outcome.
+
+    ``witness`` may be supplied (e.g. the paper's chord counter-example); when
+    omitted the exhaustive checker finds one.  Raises
+    :class:`~repro.exceptions.InvalidParameterError` if the graph actually
+    satisfies the condition (there is nothing to demonstrate).
+    """
+    if witness is None:
+        witness = find_violating_partition(graph, f)
+        if witness is None:
+            raise InvalidParameterError(
+                "graph satisfies the Theorem-1 condition; the necessity attack "
+                "requires a violating partition"
+            )
+    if not verify_witness(graph, f, witness):
+        raise InvalidParameterError(
+            f"the supplied partition {witness.describe()} does not violate the "
+            "condition on this graph"
+        )
+    chosen_rule = rule if rule is not None else TrimmedMeanRule(f)
+    adversary = SplitBrainStrategy(
+        witness, low_value=low_value, high_value=high_value, margin=1.0
+    )
+    inputs = split_inputs_from_witness(
+        witness, low_value=low_value, high_value=high_value
+    )
+    outcome = run_synchronous(
+        graph=graph,
+        rule=chosen_rule,
+        inputs=inputs,
+        faulty=witness.faulty,
+        adversary=adversary,
+        max_rounds=rounds,
+        tolerance=1e-9,
+        record_history=True,
+        stop_on_convergence=True,
+    )
+    gap = high_value - low_value
+    stalled = outcome.final_spread >= gap - 1e-9
+    left_stuck = all(
+        abs(outcome.final_values[node] - low_value) <= 1e-9
+        for node in witness.left
+    )
+    right_stuck = all(
+        abs(outcome.final_values[node] - high_value) <= 1e-9
+        for node in witness.right
+    )
+    return NecessityDemonstration(
+        witness=witness,
+        outcome=outcome,
+        stalled=stalled,
+        left_stuck=left_stuck,
+        right_stuck=right_stuck,
+    )
+
+
+def necessity_rows(
+    cases: list[tuple[str, Digraph, int, PartitionWitness | None]],
+    rounds: int = 50,
+) -> list[dict[str, object]]:
+    """Run :func:`demonstrate_necessity` over labelled cases and return table rows.
+
+    Each case is ``(label, graph, f, witness_or_None)``.
+    """
+    rows: list[dict[str, object]] = []
+    for label, graph, f, witness in cases:
+        demo = demonstrate_necessity(graph, f, witness=witness, rounds=rounds)
+        rows.append(
+            {
+                "case": label,
+                "n": graph.number_of_nodes,
+                "f": f,
+                "witness": demo.witness.describe(),
+                "rounds": demo.outcome.rounds_executed,
+                "final_spread": demo.outcome.final_spread,
+                "converged": demo.outcome.converged,
+                "validity_ok": demo.outcome.validity_ok,
+                "stalled": demo.stalled,
+            }
+        )
+    return rows

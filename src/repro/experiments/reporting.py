@@ -1,0 +1,86 @@
+"""Plain-text reporting helpers shared by the experiment drivers.
+
+The paper has no measurement tables, so the experiment drivers emit small
+qualitative tables (graph family, parameters, condition verdict, convergence
+verdict, rates).  These helpers format lists of dictionaries as aligned ASCII
+tables so examples and the benchmark harness print directly comparable rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import InvalidParameterError
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+) -> str:
+    """Format ``rows`` (a list of dicts) as an aligned ASCII table.
+
+    ``columns`` selects and orders the columns; by default the keys of the
+    first row are used.  Missing values render as an empty cell.
+    """
+    if not rows:
+        return "(no rows)"
+    selected = list(columns) if columns is not None else list(rows[0].keys())
+    if not selected:
+        raise InvalidParameterError("at least one column is required")
+    table: list[list[str]] = [[str(column) for column in selected]]
+    for row in rows:
+        table.append(
+            [_format_cell(row.get(column, ""), precision) for column in selected]
+        )
+    widths = [
+        max(len(table[line][column]) for line in range(len(table)))
+        for column in range(len(selected))
+    ]
+    lines = []
+    for line_index, line in enumerate(table):
+        rendered = "  ".join(
+            cell.ljust(widths[column]) for column, cell in enumerate(line)
+        )
+        lines.append(rendered.rstrip())
+        if line_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 4,
+) -> None:
+    """Print a table (optionally preceded by a title and a blank line)."""
+    if title:
+        print(title)
+        print("=" * len(title))
+    print(format_table(rows, columns=columns, precision=precision))
+    print()
+
+
+def summarize_booleans(rows: Iterable[Mapping[str, object]], key: str) -> dict[str, int]:
+    """Count how many rows have ``True`` / ``False`` under ``key``.
+
+    Handy for quick assertions in benchmarks ("all families converged").
+    """
+    counts = {"true": 0, "false": 0, "missing": 0}
+    for row in rows:
+        if key not in row:
+            counts["missing"] += 1
+        elif bool(row[key]):
+            counts["true"] += 1
+        else:
+            counts["false"] += 1
+    return counts

@@ -1,0 +1,69 @@
+"""Experiment E11 (ablation) — Theorem-1 condition vs graph robustness.
+
+The companion work of LeBlanc, Zhang, Sundaram and Koutsoukos characterises
+resilient consensus (under the broadcast / local models) via
+``(r, s)``-robustness; in particular ``(f + 1, f + 1)``-robustness is the
+condition most closely corresponding to the paper's Theorem 1 under the
+``f``-total Byzantine model.  This driver evaluates both predicates on the
+paper's graph families and reports where they agree, connecting the paper's
+characterisation to the robustness literature it cites.
+"""
+
+from __future__ import annotations
+
+from repro.conditions.necessary import check_feasibility
+from repro.conditions.robustness import is_r_robust, is_r_s_robust, robustness_degree
+from repro.graphs.digraph import Digraph
+from repro.graphs.generators import (
+    chord_network,
+    complete_graph,
+    core_network,
+    hypercube,
+    undirected_ring,
+)
+
+
+def default_robustness_cases() -> list[tuple[str, Digraph, int]]:
+    """Return the labelled ``(name, graph, f)`` cases for the comparison."""
+    return [
+        ("complete n=4 f=1", complete_graph(4), 1),
+        ("complete n=7 f=2", complete_graph(7), 2),
+        ("core n=7 f=2", core_network(7, 2), 2),
+        ("core n=5 f=1", core_network(5, 1), 1),
+        ("chord n=5 f=1", chord_network(5, 1), 1),
+        ("chord n=7 f=2", chord_network(7, 2), 2),
+        ("chord n=8 f=1", chord_network(8, 1), 1),
+        ("hypercube d=3 f=1", hypercube(3), 1),
+        ("ring n=6 f=1", undirected_ring(6), 1),
+    ]
+
+
+def robustness_comparison(
+    cases: list[tuple[str, Digraph, int]] | None = None,
+) -> list[dict[str, object]]:
+    """Evaluate Theorem 1, ``(2f+1)``-robustness and ``(f+1, f+1)``-robustness.
+
+    Each row records all three verdicts plus the graph's robustness degree;
+    the ``agrees`` column states whether the Theorem-1 verdict matches
+    ``(f+1, f+1)``-robustness on that case.
+    """
+    chosen = cases if cases is not None else default_robustness_cases()
+    rows: list[dict[str, object]] = []
+    for label, graph, f in chosen:
+        theorem1 = check_feasibility(graph, f, use_structural_shortcuts=False).satisfied
+        r_plus = is_r_robust(graph, 2 * f + 1)
+        r_s = is_r_s_robust(graph, f + 1, f + 1)
+        degree = robustness_degree(graph)
+        rows.append(
+            {
+                "case": label,
+                "n": graph.number_of_nodes,
+                "f": f,
+                "theorem1_holds": theorem1,
+                "robust_2f+1": r_plus,
+                "robust_(f+1,f+1)": r_s,
+                "robustness_degree": degree,
+                "agrees": theorem1 == r_s,
+            }
+        )
+    return rows

@@ -1,0 +1,280 @@
+"""A simple directed graph tailored to the paper's network model.
+
+The paper (Section 2.1) models the network as a *simple directed graph*
+``G(V, E)``: no self-loops, no parallel edges, and a directed edge ``(i, j)``
+means node ``i`` can reliably transmit to node ``j``.  The consensus
+machinery needs fast access to the *incoming* neighbour set ``N⁻_i`` (whose
+size governs the trimming in Algorithm 1) and the *outgoing* neighbour set
+``N⁺_i`` (the recipients of a node's broadcast).
+
+:class:`Digraph` stores both adjacency directions explicitly.  It is a small
+purpose-built class rather than a thin wrapper around :mod:`networkx` so that
+the condition checkers and simulation engines have a stable, minimal API that
+is easy to reason about and fast for the set-intersection-heavy queries they
+perform (``|N⁻_v ∩ A|`` appears in the inner loop of every checker).
+Conversion helpers to and from :mod:`networkx` live in :mod:`repro.graphs.io`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    SelfLoopError,
+)
+from repro.types import Edge, NodeId
+
+
+class Digraph:
+    """A simple directed graph with fast in/out neighbour queries.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node identifiers.  Any hashable values are accepted.
+    edges:
+        Initial directed edges ``(source, target)``.  Endpoints not already
+        present are added automatically.  Self-loops are rejected, matching
+        the paper's model; parallel edges are collapsed silently because the
+        edge set is a mathematical set.
+
+    Examples
+    --------
+    >>> g = Digraph(nodes=[0, 1, 2], edges=[(0, 1), (1, 2), (2, 0)])
+    >>> sorted(g.in_neighbors(0))
+    [2]
+    >>> g.in_degree(1)
+    1
+    """
+
+    __slots__ = ("_succ", "_pred")
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId] = (),
+        edges: Iterable[Edge] = (),
+    ) -> None:
+        self._succ: dict[NodeId, set[NodeId]] = {}
+        self._pred: dict[NodeId, set[NodeId]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        """Add ``node`` to the graph.  Adding an existing node is a no-op."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_nodes(self, nodes: Iterable[NodeId]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, source: NodeId, target: NodeId) -> None:
+        """Add the directed edge ``(source, target)``.
+
+        Missing endpoints are created.  Self-loops raise
+        :class:`~repro.exceptions.SelfLoopError` because the paper's edge set
+        excludes them (a node's own state is always available to it without
+        an explicit edge).
+        """
+        if source == target:
+            raise SelfLoopError(source)
+        self.add_node(source)
+        self.add_node(target)
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Add every edge in ``edges``."""
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    def add_bidirectional_edge(self, first: NodeId, second: NodeId) -> None:
+        """Add both ``(first, second)`` and ``(second, first)``.
+
+        Convenience used by the undirected families in the paper (core
+        networks, hypercubes): an undirected link is modelled as the pair of
+        directed edges, exactly as Figure 3's caption describes.
+        """
+        self.add_edge(first, second)
+        self.add_edge(second, first)
+
+    def remove_edge(self, source: NodeId, target: NodeId) -> None:
+        """Remove the directed edge ``(source, target)``.
+
+        Raises :class:`~repro.exceptions.EdgeNotFoundError` if absent.
+        """
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and every edge incident to it."""
+        self._require_node(node)
+        for successor in list(self._succ[node]):
+            self._pred[successor].discard(node)
+        for predecessor in list(self._pred[node]):
+            self._succ[predecessor].discard(node)
+        del self._succ[node]
+        del self._pred[node]
+
+    def copy(self) -> "Digraph":
+        """Return an independent copy of the graph."""
+        clone = Digraph()
+        clone._succ = {node: set(targets) for node, targets in self._succ.items()}
+        clone._pred = {node: set(sources) for node, sources in self._pred.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[NodeId]:
+        """The node set ``V``."""
+        return frozenset(self._succ)
+
+    @property
+    def number_of_nodes(self) -> int:
+        """``n = |V|``."""
+        return len(self._succ)
+
+    @property
+    def edges(self) -> frozenset[Edge]:
+        """The edge set ``E`` as a frozenset of ``(source, target)`` pairs."""
+        return frozenset(
+            (source, target)
+            for source, targets in self._succ.items()
+            for target in targets
+        )
+
+    @property
+    def number_of_edges(self) -> int:
+        """``|E|``."""
+        return sum(len(targets) for targets in self._succ.values())
+
+    def has_node(self, node: NodeId) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._succ
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        """Return whether the directed edge ``(source, target)`` exists."""
+        return source in self._succ and target in self._succ[source]
+
+    def in_neighbors(self, node: NodeId) -> frozenset[NodeId]:
+        """Return ``N⁻_node``, the set of nodes with an edge *into* ``node``."""
+        self._require_node(node)
+        return frozenset(self._pred[node])
+
+    def out_neighbors(self, node: NodeId) -> frozenset[NodeId]:
+        """Return ``N⁺_node``, the set of nodes ``node`` has an edge *to*."""
+        self._require_node(node)
+        return frozenset(self._succ[node])
+
+    def in_degree(self, node: NodeId) -> int:
+        """Return ``|N⁻_node|``."""
+        self._require_node(node)
+        return len(self._pred[node])
+
+    def out_degree(self, node: NodeId) -> int:
+        """Return ``|N⁺_node|``."""
+        self._require_node(node)
+        return len(self._succ[node])
+
+    def in_neighbors_within(self, node: NodeId, group: frozenset[NodeId] | set[NodeId]) -> set[NodeId]:
+        """Return ``N⁻_node ∩ group``.
+
+        This is the primitive underlying the paper's ``⇒`` relation
+        (Definition 1) and is kept as a dedicated method because every
+        condition checker calls it in its innermost loop.
+        """
+        self._require_node(node)
+        preds = self._pred[node]
+        # Iterate over the smaller collection for speed.
+        if len(preds) <= len(group):
+            return {p for p in preds if p in group}
+        return {g for g in group if g in preds}
+
+    def in_degree_within(self, node: NodeId, group: frozenset[NodeId] | set[NodeId]) -> int:
+        """Return ``|N⁻_node ∩ group|`` without materialising the set."""
+        self._require_node(node)
+        preds = self._pred[node]
+        if len(preds) <= len(group):
+            return sum(1 for p in preds if p in group)
+        return sum(1 for g in group if g in preds)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[NodeId]) -> "Digraph":
+        """Return the subgraph induced by ``nodes``.
+
+        Unknown nodes raise :class:`~repro.exceptions.NodeNotFoundError`.
+        """
+        keep = set()
+        for node in nodes:
+            self._require_node(node)
+            keep.add(node)
+        sub = Digraph(nodes=keep)
+        for source in keep:
+            for target in self._succ[source]:
+                if target in keep:
+                    sub.add_edge(source, target)
+        return sub
+
+    def reverse(self) -> "Digraph":
+        """Return the graph with every edge direction flipped."""
+        rev = Digraph(nodes=self.nodes)
+        for source, target in self.edges:
+            rev.add_edge(target, source)
+        return rev
+
+    def to_undirected_edges(self) -> frozenset[frozenset[NodeId]]:
+        """Return the set of unordered node pairs connected in either direction."""
+        return frozenset(frozenset((u, v)) for u, v in self.edges)
+
+    def is_symmetric(self) -> bool:
+        """Return whether for every edge ``(u, v)`` the reverse ``(v, u)`` exists.
+
+        Symmetric digraphs are how the paper encodes undirected graphs
+        (Section 6.1: "G is said to be undirected iff (i, j) ∈ E implies
+        (j, i) ∈ E").
+        """
+        return all(self.has_edge(target, source) for source, target in self.edges)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __contains__(self, node: NodeId) -> bool:
+        return self.has_node(node)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._succ)
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        return self.nodes == other.nodes and self.edges == other.edges
+
+    def __repr__(self) -> str:
+        return (
+            f"Digraph(n={self.number_of_nodes}, m={self.number_of_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _require_node(self, node: NodeId) -> None:
+        if node not in self._succ:
+            raise NodeNotFoundError(node)

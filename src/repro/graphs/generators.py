@@ -1,0 +1,306 @@
+"""Deterministic graph-family generators.
+
+Every family mentioned in the paper is available here:
+
+* :func:`complete_graph` — the fully connected graphs of the classic
+  Dolev et al. setting (and of Corollary 2's threshold ``n > 3f``).
+* :func:`core_network` — Definition 4 (Section 6.1): a ``(2f + 1)``-clique
+  ``K`` plus bidirectional links between every outside node and every node of
+  ``K``.
+* :func:`hypercube` — the d-dimensional binary hypercube of Section 6.2 /
+  Figure 3, encoded as a symmetric digraph.
+* :func:`chord_network` — Definition 5 (Section 6.3): node ``i`` has outgoing
+  edges to ``i + 1, …, i + 2f + 1 (mod n)``.
+
+plus standard families used by the experiments and tests (directed/undirected
+rings, paths, stars, wheels, ring lattices) and composition helpers.
+All generators label nodes ``0 … n − 1``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs.digraph import Digraph
+from repro.types import NodeId
+
+
+def _require_positive(name: str, value: int) -> None:
+    if value < 1:
+        raise InvalidParameterError(f"{name} must be >= 1, got {value}")
+
+
+def _require_non_negative(name: str, value: int) -> None:
+    if value < 0:
+        raise InvalidParameterError(f"{name} must be >= 0, got {value}")
+
+
+# ---------------------------------------------------------------------------
+# Fully connected and near-complete graphs
+# ---------------------------------------------------------------------------
+def complete_graph(n: int) -> Digraph:
+    """Return the complete digraph on ``n`` nodes (every ordered pair is an edge).
+
+    This is the setting of the original approximate-agreement results
+    [Dolev et al. 1986]; Algorithm 1 is correct on it exactly when
+    ``n > 3f`` (Corollary 2).
+    """
+    _require_positive("n", n)
+    graph = Digraph(nodes=range(n))
+    for source in range(n):
+        for target in range(n):
+            if source != target:
+                graph.add_edge(source, target)
+    return graph
+
+
+def complete_bipartite_graph(left_size: int, right_size: int) -> Digraph:
+    """Return the symmetric complete bipartite graph ``K_{left,right}``.
+
+    Nodes ``0 … left_size − 1`` form the left side and the remaining nodes
+    the right side; every cross pair is connected in both directions.  Used
+    in tests of the condition checkers (bipartite graphs have large cuts but
+    poor intra-side connectivity).
+    """
+    _require_positive("left_size", left_size)
+    _require_positive("right_size", right_size)
+    graph = Digraph(nodes=range(left_size + right_size))
+    for left in range(left_size):
+        for right in range(left_size, left_size + right_size):
+            graph.add_bidirectional_edge(left, right)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Paper families
+# ---------------------------------------------------------------------------
+def core_network(n: int, f: int) -> Digraph:
+    """Return a *core network* (Definition 4 of the paper).
+
+    A core network on ``n > 3f`` nodes contains a clique ``K`` of size
+    ``2f + 1`` (nodes ``0 … 2f``) and every node outside ``K`` has
+    bidirectional links to all nodes of ``K``.  Nodes outside ``K`` have no
+    links among themselves, which is what makes the family edge-minimal in
+    the paper's conjecture for ``n = 3f + 1``.
+
+    Parameters
+    ----------
+    n:
+        Total number of nodes; must satisfy ``n > 3f`` (and hence
+        ``n >= 2f + 1`` so the clique fits).
+    f:
+        Fault budget the network is designed for.
+    """
+    _require_positive("n", n)
+    _require_non_negative("f", f)
+    if n <= 3 * f:
+        raise InvalidParameterError(
+            f"a core network requires n > 3f; got n={n}, f={f}"
+        )
+    clique_size = 2 * f + 1
+    graph = Digraph(nodes=range(n))
+    for first, second in combinations(range(clique_size), 2):
+        graph.add_bidirectional_edge(first, second)
+    for outside in range(clique_size, n):
+        for core_node in range(clique_size):
+            graph.add_bidirectional_edge(outside, core_node)
+    return graph
+
+
+def hypercube(dimension: int) -> Digraph:
+    """Return the ``dimension``-dimensional binary hypercube as a symmetric digraph.
+
+    Nodes are the integers ``0 … 2^d − 1``; two nodes are adjacent when their
+    binary labels differ in exactly one bit.  Section 6.2 of the paper shows
+    that although the hypercube has (vertex) connectivity ``d``, cutting the
+    edges along any single dimension yields a partition in which every node
+    has exactly one neighbour across the cut, so Theorem 1 fails for every
+    ``f >= 1``.
+    """
+    _require_positive("dimension", dimension)
+    size = 1 << dimension
+    graph = Digraph(nodes=range(size))
+    for node in range(size):
+        for bit in range(dimension):
+            neighbor = node ^ (1 << bit)
+            if node < neighbor:
+                graph.add_bidirectional_edge(node, neighbor)
+    return graph
+
+
+def hypercube_dimension_cut(dimension: int, cut_bit: int = 0) -> tuple[frozenset[int], frozenset[int]]:
+    """Return the two halves of the hypercube split along ``cut_bit``.
+
+    This is exactly the partition illustrated in Figure 3(b) of the paper for
+    ``dimension = 3`` and ``cut_bit = 2`` ({0,1,2,3} vs {4,5,6,7}).  Each node
+    has exactly one neighbour on the other side, so for any ``f >= 1`` the
+    partition violates Theorem 1 (with ``F = ∅`` and ``C = ∅``).
+    """
+    _require_positive("dimension", dimension)
+    if not 0 <= cut_bit < dimension:
+        raise InvalidParameterError(
+            f"cut_bit must be in [0, {dimension - 1}], got {cut_bit}"
+        )
+    size = 1 << dimension
+    low = frozenset(node for node in range(size) if not node & (1 << cut_bit))
+    high = frozenset(node for node in range(size) if node & (1 << cut_bit))
+    return low, high
+
+
+def chord_network(n: int, f: int) -> Digraph:
+    """Return a *chord network* (Definition 5 of the paper).
+
+    Nodes are ``0 … n − 1`` and node ``i`` has outgoing edges to
+    ``(i + k) mod n`` for ``k = 1 … 2f + 1``.  The graph is directed (not
+    symmetric in general).  Section 6.3 analyses three instances:
+
+    * ``f = 1, n = 4`` — fully connected, trivially satisfies Theorem 1;
+    * ``f = 2, n = 7`` — fails Theorem 1 (witness ``F = {5, 6}``,
+      ``L = {0, 2}``, ``R = {1, 3, 4}``);
+    * ``f = 1, n = 5`` — satisfies Theorem 1.
+    """
+    _require_positive("n", n)
+    _require_non_negative("f", f)
+    reach = 2 * f + 1
+    if reach >= n:
+        # Every node would link to all others; the modulo arithmetic below
+        # would create self-loops for k = n, so cap the reach at n - 1 which
+        # yields the complete digraph.
+        reach = n - 1
+    graph = Digraph(nodes=range(n))
+    for node in range(n):
+        for offset in range(1, reach + 1):
+            graph.add_edge(node, (node + offset) % n)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Standard families used by tests and experiments
+# ---------------------------------------------------------------------------
+def directed_ring(n: int) -> Digraph:
+    """Return the directed cycle ``0 → 1 → … → n − 1 → 0``."""
+    _require_positive("n", n)
+    if n < 2:
+        raise InvalidParameterError("a directed ring requires n >= 2")
+    graph = Digraph(nodes=range(n))
+    for node in range(n):
+        graph.add_edge(node, (node + 1) % n)
+    return graph
+
+
+def undirected_ring(n: int) -> Digraph:
+    """Return the symmetric cycle on ``n`` nodes."""
+    _require_positive("n", n)
+    if n < 3:
+        raise InvalidParameterError("an undirected ring requires n >= 3")
+    graph = Digraph(nodes=range(n))
+    for node in range(n):
+        graph.add_bidirectional_edge(node, (node + 1) % n)
+    return graph
+
+
+def directed_path(n: int) -> Digraph:
+    """Return the directed path ``0 → 1 → … → n − 1``."""
+    _require_positive("n", n)
+    graph = Digraph(nodes=range(n))
+    for node in range(n - 1):
+        graph.add_edge(node, node + 1)
+    return graph
+
+
+def star_graph(n: int) -> Digraph:
+    """Return the symmetric star: node ``0`` connected both ways to all others."""
+    _require_positive("n", n)
+    if n < 2:
+        raise InvalidParameterError("a star requires n >= 2")
+    graph = Digraph(nodes=range(n))
+    for leaf in range(1, n):
+        graph.add_bidirectional_edge(0, leaf)
+    return graph
+
+
+def wheel_graph(n: int) -> Digraph:
+    """Return the symmetric wheel: a hub (node ``0``) plus an undirected ring
+    on nodes ``1 … n − 1``, with the hub connected to every ring node."""
+    _require_positive("n", n)
+    if n < 4:
+        raise InvalidParameterError("a wheel requires n >= 4")
+    graph = Digraph(nodes=range(n))
+    ring = list(range(1, n))
+    for index, node in enumerate(ring):
+        graph.add_bidirectional_edge(node, ring[(index + 1) % len(ring)])
+        graph.add_bidirectional_edge(0, node)
+    return graph
+
+
+def ring_lattice(n: int, k: int) -> Digraph:
+    """Return the symmetric ring lattice where each node links to its ``k``
+    nearest neighbours on each side (a.k.a. the Watts–Strogatz substrate).
+
+    For ``k >= 2f + 1`` this family is a natural partially connected candidate
+    to compare against the (directed) chord networks of Section 6.3.
+    """
+    _require_positive("n", n)
+    _require_positive("k", k)
+    if 2 * k >= n:
+        raise InvalidParameterError(
+            f"ring lattice requires 2k < n; got n={n}, k={k}"
+        )
+    graph = Digraph(nodes=range(n))
+    for node in range(n):
+        for offset in range(1, k + 1):
+            graph.add_bidirectional_edge(node, (node + offset) % n)
+    return graph
+
+
+def butterfly_barbell(clique_size: int, bridge_width: int = 1) -> Digraph:
+    """Return two symmetric cliques of ``clique_size`` nodes joined by
+    ``bridge_width`` bidirectional bridge edges.
+
+    This family has an obvious bottleneck and is used in tests and the
+    necessity benchmarks: for ``bridge_width <= f`` the cut violates
+    Theorem 1, while widening the bridge past ``f + 1`` per-node incoming
+    links repairs it only once enough distinct endpoints are covered.
+    """
+    _require_positive("clique_size", clique_size)
+    _require_positive("bridge_width", bridge_width)
+    if bridge_width > clique_size:
+        raise InvalidParameterError("bridge_width cannot exceed clique_size")
+    n = 2 * clique_size
+    graph = Digraph(nodes=range(n))
+    left = list(range(clique_size))
+    right = list(range(clique_size, n))
+    for side in (left, right):
+        for first, second in combinations(side, 2):
+            graph.add_bidirectional_edge(first, second)
+    for index in range(bridge_width):
+        graph.add_bidirectional_edge(left[index], right[index])
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Composition helpers
+# ---------------------------------------------------------------------------
+def union(first: Digraph, second: Digraph) -> Digraph:
+    """Return the union of two graphs (node sets and edge sets united)."""
+    combined = first.copy()
+    combined.add_nodes(second.nodes)
+    combined.add_edges(second.edges)
+    return combined
+
+
+def with_extra_edges(graph: Digraph, edges: Iterable[tuple[NodeId, NodeId]]) -> Digraph:
+    """Return a copy of ``graph`` with the given directed edges added."""
+    augmented = graph.copy()
+    augmented.add_edges(edges)
+    return augmented
+
+
+def without_edges(graph: Digraph, edges: Iterable[tuple[NodeId, NodeId]]) -> Digraph:
+    """Return a copy of ``graph`` with the given directed edges removed."""
+    reduced = graph.copy()
+    for source, target in edges:
+        reduced.remove_edge(source, target)
+    return reduced

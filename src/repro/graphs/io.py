@@ -1,0 +1,137 @@
+"""Interoperability and serialisation helpers for :class:`~repro.graphs.digraph.Digraph`.
+
+Provides round-trips to and from
+
+* :class:`networkx.DiGraph` (for callers who want networkx's algorithms or
+  drawing support),
+* plain edge-list / adjacency-dict representations (for tests, fixtures and
+  JSON serialisation),
+* a compact text format (one ``source target`` pair per line) for storing
+  experiment topologies on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs.digraph import Digraph
+from repro.types import Edge, NodeId
+
+
+# ---------------------------------------------------------------------------
+# networkx interop
+# ---------------------------------------------------------------------------
+def to_networkx(graph: Digraph) -> nx.DiGraph:
+    """Return a :class:`networkx.DiGraph` with the same nodes and edges."""
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(graph.nodes)
+    nx_graph.add_edges_from(graph.edges)
+    return nx_graph
+
+
+def from_networkx(nx_graph: nx.Graph | nx.DiGraph) -> Digraph:
+    """Build a :class:`Digraph` from a networkx graph.
+
+    Undirected networkx graphs become symmetric digraphs (each undirected edge
+    yields both directed edges), matching the paper's encoding of undirected
+    networks.  Self-loops are rejected.
+    """
+    graph = Digraph(nodes=nx_graph.nodes)
+    for source, target in nx_graph.edges:
+        if source == target:
+            raise InvalidParameterError(
+                f"self-loop on {source!r} cannot be represented in the paper's model"
+            )
+        graph.add_edge(source, target)
+        if not nx_graph.is_directed():
+            graph.add_edge(target, source)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Plain-python representations
+# ---------------------------------------------------------------------------
+def to_edge_list(graph: Digraph) -> list[Edge]:
+    """Return a deterministic (repr-sorted) list of directed edges."""
+    return sorted(graph.edges, key=repr)
+
+
+def from_edge_list(edges: Iterable[Edge], nodes: Iterable[NodeId] = ()) -> Digraph:
+    """Build a graph from an iterable of directed edges (plus optional
+    isolated nodes)."""
+    return Digraph(nodes=nodes, edges=edges)
+
+
+def to_adjacency_dict(graph: Digraph) -> dict[NodeId, list[NodeId]]:
+    """Return ``{node: sorted out-neighbours}`` covering every node."""
+    return {
+        node: sorted(graph.out_neighbors(node), key=repr)
+        for node in sorted(graph.nodes, key=repr)
+    }
+
+
+def from_adjacency_dict(adjacency: Mapping[NodeId, Iterable[NodeId]]) -> Digraph:
+    """Build a graph from ``{node: out-neighbours}``."""
+    graph = Digraph(nodes=adjacency.keys())
+    for source, targets in adjacency.items():
+        for target in targets:
+            graph.add_edge(source, target)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# On-disk formats
+# ---------------------------------------------------------------------------
+def to_json(graph: Digraph) -> str:
+    """Serialise the graph to a JSON string (nodes + edge list).
+
+    Node identifiers must be JSON-serialisable (ints and strings are).
+    """
+    payload = {
+        "nodes": sorted(graph.nodes, key=repr),
+        "edges": [list(edge) for edge in to_edge_list(graph)],
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def from_json(text: str) -> Digraph:
+    """Deserialise a graph produced by :func:`to_json`."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or "nodes" not in payload or "edges" not in payload:
+        raise InvalidParameterError("JSON payload must contain 'nodes' and 'edges'")
+    edges = [tuple(edge) for edge in payload["edges"]]
+    for edge in edges:
+        if len(edge) != 2:
+            raise InvalidParameterError(f"malformed edge entry {edge!r}")
+    return Digraph(nodes=payload["nodes"], edges=edges)
+
+
+def save_edge_list(graph: Digraph, path: str | Path) -> None:
+    """Write the graph as a text edge list (``source target`` per line)."""
+    lines = [f"{source} {target}" for source, target in to_edge_list(graph)]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_edge_list(path: str | Path, node_type: type = int) -> Digraph:
+    """Read a text edge list written by :func:`save_edge_list`.
+
+    ``node_type`` converts the whitespace-separated tokens back into node
+    identifiers (``int`` by default).
+    """
+    graph = Digraph()
+    for line_number, raw_line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise InvalidParameterError(
+                f"line {line_number} of {path} is not a 'source target' pair: {raw_line!r}"
+            )
+        graph.add_edge(node_type(parts[0]), node_type(parts[1]))
+    return graph

@@ -1,0 +1,319 @@
+"""Structural properties of directed graphs.
+
+These helpers answer the structural questions the paper raises around its
+examples: degree minima (Corollary 3), vertex connectivity (the hypercube
+discussion of Section 6.2 contrasts connectivity ``2f + 1`` with the
+Theorem-1 condition), strong connectivity, diameters, and edge counts (the
+edge-minimality conjecture for core networks in Section 6.1).
+
+The implementations are self-contained (BFS/max-flow on the library's own
+:class:`~repro.graphs.digraph.Digraph`) so that the library does not depend on
+:mod:`networkx` for correctness; :mod:`repro.graphs.io` provides conversions
+for callers who want to use networkx's richer toolbox.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import combinations
+
+from repro.exceptions import InvalidParameterError, NodeNotFoundError
+from repro.graphs.digraph import Digraph
+from repro.types import NodeId
+
+
+# ---------------------------------------------------------------------------
+# Degree statistics
+# ---------------------------------------------------------------------------
+def minimum_in_degree(graph: Digraph) -> int:
+    """Return ``min over nodes of |N⁻_i|`` (0 for the empty graph)."""
+    if graph.number_of_nodes == 0:
+        return 0
+    return min(graph.in_degree(node) for node in graph.nodes)
+
+
+def minimum_out_degree(graph: Digraph) -> int:
+    """Return ``min over nodes of |N⁺_i|`` (0 for the empty graph)."""
+    if graph.number_of_nodes == 0:
+        return 0
+    return min(graph.out_degree(node) for node in graph.nodes)
+
+
+def degree_summary(graph: Digraph) -> dict[str, float]:
+    """Return a dictionary of degree statistics (min/max/mean, in and out)."""
+    nodes = sorted(graph.nodes, key=repr)
+    if not nodes:
+        return {
+            "min_in": 0.0,
+            "max_in": 0.0,
+            "mean_in": 0.0,
+            "min_out": 0.0,
+            "max_out": 0.0,
+            "mean_out": 0.0,
+        }
+    in_degrees = [graph.in_degree(node) for node in nodes]
+    out_degrees = [graph.out_degree(node) for node in nodes]
+    return {
+        "min_in": float(min(in_degrees)),
+        "max_in": float(max(in_degrees)),
+        "mean_in": sum(in_degrees) / len(nodes),
+        "min_out": float(min(out_degrees)),
+        "max_out": float(max(out_degrees)),
+        "mean_out": sum(out_degrees) / len(nodes),
+    }
+
+
+def undirected_edge_count(graph: Digraph) -> int:
+    """Return the number of distinct unordered adjacent pairs.
+
+    For symmetric digraphs this is the undirected edge count used by the
+    paper's Section-6.1 edge-minimality conjecture.
+    """
+    return len(graph.to_undirected_edges())
+
+
+# ---------------------------------------------------------------------------
+# Reachability and connectivity
+# ---------------------------------------------------------------------------
+def reachable_from(graph: Digraph, source: NodeId) -> frozenset[NodeId]:
+    """Return the set of nodes reachable from ``source`` along directed edges
+    (including ``source`` itself)."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    seen: set[NodeId] = {source}
+    frontier: deque[NodeId] = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for successor in graph.out_neighbors(node):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return frozenset(seen)
+
+
+def is_strongly_connected(graph: Digraph) -> bool:
+    """Return whether every node can reach every other node."""
+    nodes = graph.nodes
+    if len(nodes) <= 1:
+        return True
+    start = next(iter(nodes))
+    if reachable_from(graph, start) != nodes:
+        return False
+    return reachable_from(graph.reverse(), start) == nodes
+
+
+def strongly_connected_components(graph: Digraph) -> tuple[frozenset[NodeId], ...]:
+    """Return the strongly connected components (Tarjan's algorithm, iterative).
+
+    Components are returned sorted by their smallest representative's
+    ``repr`` so the output is deterministic.
+    """
+    index_counter = 0
+    stack: list[NodeId] = []
+    lowlink: dict[NodeId, int] = {}
+    index: dict[NodeId, int] = {}
+    on_stack: set[NodeId] = set()
+    components: list[frozenset[NodeId]] = []
+
+    for root in sorted(graph.nodes, key=repr):
+        if root in index:
+            continue
+        # Iterative Tarjan: each work-stack entry is (node, iterator over successors).
+        work: list[tuple[NodeId, list[NodeId], int]] = [
+            (root, sorted(graph.out_neighbors(root), key=repr), 0)
+        ]
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors, pointer = work[-1]
+            advanced = False
+            while pointer < len(successors):
+                successor = successors[pointer]
+                pointer += 1
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work[-1] = (node, successors, pointer)
+                    work.append(
+                        (successor, sorted(graph.out_neighbors(successor), key=repr), 0)
+                    )
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[NodeId] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+    return tuple(
+        sorted(components, key=lambda comp: repr(sorted(comp, key=repr)))
+    )
+
+
+def shortest_path_length(graph: Digraph, source: NodeId, target: NodeId) -> int | None:
+    """Return the number of edges on a shortest directed path, or ``None`` if
+    ``target`` is unreachable from ``source``."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    if source == target:
+        return 0
+    distances: dict[NodeId, int] = {source: 0}
+    frontier: deque[NodeId] = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for successor in graph.out_neighbors(node):
+            if successor in distances:
+                continue
+            distances[successor] = distances[node] + 1
+            if successor == target:
+                return distances[successor]
+            frontier.append(successor)
+    return None
+
+
+def diameter(graph: Digraph) -> int | None:
+    """Return the directed diameter, or ``None`` if the graph is not strongly
+    connected (some pair has no directed path)."""
+    nodes = sorted(graph.nodes, key=repr)
+    worst = 0
+    for source in nodes:
+        distances: dict[NodeId, int] = {source: 0}
+        frontier: deque[NodeId] = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            for successor in graph.out_neighbors(node):
+                if successor not in distances:
+                    distances[successor] = distances[node] + 1
+                    frontier.append(successor)
+        if len(distances) != len(nodes):
+            return None
+        worst = max(worst, max(distances.values()))
+    return worst
+
+
+# ---------------------------------------------------------------------------
+# Vertex connectivity (max-flow based)
+# ---------------------------------------------------------------------------
+def _max_vertex_disjoint_paths(graph: Digraph, source: NodeId, target: NodeId) -> int:
+    """Return the maximum number of internally vertex-disjoint directed paths
+    from ``source`` to ``target`` using node splitting + unit-capacity max flow.
+
+    By Menger's theorem this equals the minimum number of internal nodes whose
+    removal disconnects ``target`` from ``source`` (when ``(source, target)``
+    is not an edge).
+    """
+    if source == target:
+        raise InvalidParameterError("source and target must differ")
+    # Node splitting: every node v becomes v_in -> v_out with capacity 1,
+    # except source/target which get infinite internal capacity.
+    nodes = list(graph.nodes)
+    capacity: dict[tuple[object, object], int] = {}
+    infinity = len(nodes) + 1
+
+    def v_in(node: NodeId) -> tuple[str, NodeId]:
+        return ("in", node)
+
+    def v_out(node: NodeId) -> tuple[str, NodeId]:
+        return ("out", node)
+
+    for node in nodes:
+        internal_capacity = infinity if node in (source, target) else 1
+        capacity[(v_in(node), v_out(node))] = internal_capacity
+    for edge_source, edge_target in graph.edges:
+        capacity[(v_out(edge_source), v_in(edge_target))] = infinity
+
+    adjacency: dict[object, set[object]] = {}
+    for (flow_source, flow_target) in capacity:
+        adjacency.setdefault(flow_source, set()).add(flow_target)
+        adjacency.setdefault(flow_target, set()).add(flow_source)
+    residual = dict(capacity)
+
+    def bfs_augment() -> list[object] | None:
+        start, goal = v_out(source), v_in(target)
+        parents: dict[object, object] = {start: start}
+        frontier: deque[object] = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in adjacency.get(node, ()):  # both directions may carry residual
+                if neighbor in parents:
+                    continue
+                if residual.get((node, neighbor), 0) <= 0:
+                    continue
+                parents[neighbor] = node
+                if neighbor == goal:
+                    path = [neighbor]
+                    while path[-1] != start:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                frontier.append(neighbor)
+        return None
+
+    flow = 0
+    while True:
+        path = bfs_augment()
+        if path is None:
+            return flow
+        bottleneck = min(
+            residual.get((path[i], path[i + 1]), 0) for i in range(len(path) - 1)
+        )
+        for i in range(len(path) - 1):
+            forward = (path[i], path[i + 1])
+            backward = (path[i + 1], path[i])
+            residual[forward] = residual.get(forward, 0) - bottleneck
+            residual[backward] = residual.get(backward, 0) + bottleneck
+        flow += bottleneck
+
+
+def vertex_connectivity(graph: Digraph) -> int:
+    """Return the directed vertex connectivity of ``graph``.
+
+    The vertex connectivity is the minimum, over ordered pairs ``(s, t)`` with
+    no edge ``s → t``, of the number of internally disjoint directed paths
+    from ``s`` to ``t``; complete digraphs return ``n − 1`` by convention.
+    This is the quantity the paper contrasts with its Theorem-1 condition in
+    Section 6.2 (hypercubes have connectivity ``d`` yet fail the condition).
+    """
+    nodes = sorted(graph.nodes, key=repr)
+    n = len(nodes)
+    if n <= 1:
+        return 0
+    best = n - 1
+    found_non_adjacent_pair = False
+    for source, target in combinations(nodes, 2):
+        for ordered_source, ordered_target in ((source, target), (target, source)):
+            if graph.has_edge(ordered_source, ordered_target):
+                continue
+            found_non_adjacent_pair = True
+            best = min(
+                best,
+                _max_vertex_disjoint_paths(graph, ordered_source, ordered_target),
+            )
+            if best == 0:
+                return 0
+    if not found_non_adjacent_pair:
+        return n - 1
+    return best
+
+
+def is_complete(graph: Digraph) -> bool:
+    """Return whether every ordered pair of distinct nodes is an edge."""
+    n = graph.number_of_nodes
+    return graph.number_of_edges == n * (n - 1)

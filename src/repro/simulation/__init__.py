@@ -1,0 +1,51 @@
+"""Simulation engines (synchronous and partially asynchronous), input
+generators, metrics, traces and the high-level :func:`run_consensus` API."""
+
+from repro.simulation.async_engine import (
+    PartiallyAsynchronousEngine,
+    run_partially_asynchronous,
+)
+from repro.simulation.engine import (
+    SimulationConfig,
+    SynchronousEngine,
+    run_synchronous,
+)
+from repro.simulation.inputs import (
+    bimodal_inputs,
+    linear_ramp_inputs,
+    split_inputs_from_witness,
+    uniform_random_inputs,
+)
+from repro.simulation.metrics import (
+    VALIDITY_TOLERANCE,
+    ValidityTracker,
+    empirical_contraction_ratios,
+    fault_free_extremes,
+    has_converged,
+    spread,
+    within_hull,
+)
+from repro.simulation.run import run_consensus
+from repro.simulation.trace import ExecutionTrace, spreads_from_records
+
+__all__ = [
+    "PartiallyAsynchronousEngine",
+    "run_partially_asynchronous",
+    "SimulationConfig",
+    "SynchronousEngine",
+    "run_synchronous",
+    "bimodal_inputs",
+    "linear_ramp_inputs",
+    "split_inputs_from_witness",
+    "uniform_random_inputs",
+    "VALIDITY_TOLERANCE",
+    "ValidityTracker",
+    "empirical_contraction_ratios",
+    "fault_free_extremes",
+    "has_converged",
+    "spread",
+    "within_hull",
+    "run_consensus",
+    "ExecutionTrace",
+    "spreads_from_records",
+]

@@ -1,0 +1,274 @@
+"""Partially asynchronous simulation engine (Section 7).
+
+Section 7 of the paper notes that the synchronous results generalise to the
+partially asynchronous model of Bertsekas & Tsitsiklis, which allows message
+delays of up to ``B`` iterations.  This engine implements that model:
+
+* a message sent at the start of iteration ``t`` (carrying the sender's state
+  ``v_j[t − 1]``) is delivered at iteration ``t + d`` for a per-message delay
+  ``d`` drawn uniformly from ``{0, …, B}``;
+* every node keeps, per in-neighbour, the **freshest** value delivered so far
+  (initialised to the neighbour's input, so that the iteration is well defined
+  from round 1);
+* every round each node updates using its buffer with probability
+  ``update_probability`` (1.0 reproduces "every node computes every round";
+  smaller values approximate sporadic activations).
+
+Because nodes may compute on stale values, the *round-to-round* validity
+condition (eq. 1) need not hold — but the convex-hull form does: every value
+used by a fault-free node either comes from a fault-free node's earlier state
+(inside the initial hull) or is a Byzantine value that the trimming discards
+or sandwiches.  The engine therefore reports validity with respect to the
+**initial fault-free hull**.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.adversary.base import AdversaryContext, ByzantineStrategy, PassiveStrategy
+from repro.algorithms.base import UpdateRule
+from repro.exceptions import (
+    FaultBudgetExceededError,
+    InvalidParameterError,
+    SimulationError,
+)
+from repro.graphs.digraph import Digraph
+from repro.simulation.engine import SimulationConfig
+from repro.simulation.metrics import fault_free_extremes, within_hull
+from repro.simulation.trace import ExecutionTrace
+from repro.types import ConsensusOutcome, NodeId, ReceivedValue, ValueMap
+
+
+class PartiallyAsynchronousEngine:
+    """Executor with bounded message delays and optional sporadic activation.
+
+    Parameters
+    ----------
+    graph, rule, faulty, adversary, config:
+        As for :class:`~repro.simulation.engine.SynchronousEngine`.
+    max_delay:
+        The bound ``B`` on message delay, in iterations.  ``0`` reproduces the
+        synchronous engine exactly (every message delivered in the round it
+        was sent for).
+    update_probability:
+        Probability that a fault-free node recomputes its state in a given
+        round; nodes that skip a round keep their previous state (and their
+        buffers keep absorbing deliveries).
+    rng:
+        Source of randomness for delays and activations.
+    """
+
+    def __init__(
+        self,
+        graph: Digraph,
+        rule: UpdateRule,
+        faulty: frozenset[NodeId] | set[NodeId] = frozenset(),
+        adversary: ByzantineStrategy | None = None,
+        config: SimulationConfig | None = None,
+        max_delay: int = 1,
+        update_probability: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if max_delay < 0:
+            raise InvalidParameterError(f"max_delay must be >= 0, got {max_delay}")
+        if not 0.0 < update_probability <= 1.0:
+            raise InvalidParameterError(
+                f"update_probability must be in (0, 1], got {update_probability}"
+            )
+        self._graph = graph
+        self._rule = rule
+        self._faulty = frozenset(faulty)
+        self._adversary = adversary if adversary is not None else PassiveStrategy()
+        self._config = config if config is not None else SimulationConfig()
+        self._max_delay = max_delay
+        self._update_probability = update_probability
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+
+        unknown = self._faulty - graph.nodes
+        if unknown:
+            raise InvalidParameterError(
+                f"faulty nodes {sorted(unknown, key=repr)!r} are not in the graph"
+            )
+        if len(self._faulty) > rule.f:
+            raise FaultBudgetExceededError(len(self._faulty), rule.f)
+        fault_free = graph.nodes - self._faulty
+        if not fault_free:
+            raise InvalidParameterError("at least one node must be fault-free")
+        rule.validate_graph(graph, nodes=sorted(fault_free, key=repr))
+
+    @property
+    def max_delay(self) -> int:
+        """The delay bound ``B``."""
+        return self._max_delay
+
+    @property
+    def faulty(self) -> frozenset[NodeId]:
+        """The Byzantine node set ``F``."""
+        return self._faulty
+
+    def run(self, inputs: ValueMap) -> ConsensusOutcome:
+        """Run until the fault-free spread reaches the tolerance or ``max_rounds``."""
+        graph = self._graph
+        config = self._config
+        missing = graph.nodes - inputs.keys()
+        if missing:
+            raise InvalidParameterError(
+                f"inputs missing for nodes {sorted(missing, key=repr)!r}"
+            )
+
+        state: dict[NodeId, float] = {
+            node: float(inputs[node]) for node in graph.nodes
+        }
+        # Freshest value known per directed edge: (send_round, value).  The
+        # initial entries model the paper's assumption that every node knows
+        # its in-neighbours' inputs (send_round 0).
+        freshest: dict[tuple[NodeId, NodeId], tuple[int, float]] = {}
+        for target in graph.nodes:
+            for sender in graph.in_neighbors(target):
+                freshest[(sender, target)] = (0, state[sender])
+        # Messages in flight, keyed by delivery round.
+        in_flight: dict[int, list[tuple[int, NodeId, NodeId, float]]] = defaultdict(list)
+
+        trace = ExecutionTrace(faulty=self._faulty)
+        hull_min, hull_max = fault_free_extremes(state, self._faulty)
+        initial_spread = hull_max - hull_min
+        hull_ok = True
+        if config.record_history:
+            trace.record_round(0, state)
+
+        rounds_executed = 0
+        current_spread = initial_spread
+        converged = config.stop_on_convergence and initial_spread <= config.tolerance
+
+        for round_index in range(1, config.max_rounds + 1):
+            if converged:
+                break
+            context = AdversaryContext(
+                graph=graph,
+                round_index=round_index,
+                values=dict(state),
+                faulty=self._faulty,
+                f=self._rule.f,
+            )
+            # 1. Every node emits its messages for this round, each with an
+            #    independent delay in {0, ..., B}.
+            for sender in graph.nodes:
+                if sender in self._faulty:
+                    outgoing = self._adversary.outgoing_values(sender, context)
+                    missing_targets = graph.out_neighbors(sender) - outgoing.keys()
+                    if missing_targets:
+                        raise SimulationError(
+                            f"adversary strategy {self._adversary.name!r} did not "
+                            f"provide values for edges "
+                            f"{sorted(missing_targets, key=repr)!r} out of faulty "
+                            f"node {sender!r}"
+                        )
+                else:
+                    outgoing = {
+                        target: state[sender]
+                        for target in graph.out_neighbors(sender)
+                    }
+                for target in sorted(graph.out_neighbors(sender), key=repr):
+                    delay = (
+                        int(self._rng.integers(0, self._max_delay + 1))
+                        if self._max_delay > 0
+                        else 0
+                    )
+                    in_flight[round_index + delay].append(
+                        (round_index, sender, target, float(outgoing[target]))
+                    )
+
+            # 2. Deliveries scheduled for this round update the buffers
+            #    (freshest send time wins).
+            for send_round, sender, target, value in in_flight.pop(round_index, []):
+                stored_round, _ = freshest[(sender, target)]
+                if send_round >= stored_round:
+                    freshest[(sender, target)] = (send_round, value)
+
+            # 3. Activated fault-free nodes recompute from their buffers;
+            #    faulty nodes take their nominal value.
+            new_state = dict(state)
+            for node in graph.nodes:
+                if node in self._faulty:
+                    new_state[node] = float(
+                        self._adversary.nominal_value(node, context)
+                    )
+                    continue
+                if (
+                    self._update_probability < 1.0
+                    and self._rng.random() >= self._update_probability
+                ):
+                    continue
+                received = [
+                    ReceivedValue(sender=sender, value=freshest[(sender, node)][1])
+                    for sender in sorted(graph.in_neighbors(node), key=repr)
+                ]
+                new_state[node] = float(
+                    self._rule.compute(node, state[node], received)
+                )
+            state = new_state
+            rounds_executed = round_index
+
+            low, high = fault_free_extremes(state, self._faulty)
+            fault_free_values = [
+                value for node, value in state.items() if node not in self._faulty
+            ]
+            if not within_hull(fault_free_values, hull_min, hull_max):
+                hull_ok = False
+            if config.record_history:
+                trace.record_round(round_index, state)
+            current_spread = high - low
+            if config.stop_on_convergence and current_spread <= config.tolerance:
+                converged = True
+
+        if not config.stop_on_convergence:
+            converged = current_spread <= config.tolerance
+        final_values = {
+            node: state[node] for node in graph.nodes if node not in self._faulty
+        }
+        return ConsensusOutcome(
+            converged=converged,
+            rounds_executed=rounds_executed,
+            final_spread=current_spread,
+            initial_spread=initial_spread,
+            validity_ok=hull_ok,
+            final_values=final_values,
+            history=trace.as_records() if config.record_history else tuple(),
+        )
+
+
+def run_partially_asynchronous(
+    graph: Digraph,
+    rule: UpdateRule,
+    inputs: ValueMap,
+    faulty: frozenset[NodeId] | set[NodeId] = frozenset(),
+    adversary: ByzantineStrategy | None = None,
+    max_delay: int = 1,
+    update_probability: float = 1.0,
+    max_rounds: int = 500,
+    tolerance: float = 1e-7,
+    record_history: bool = True,
+    rng: np.random.Generator | int | None = None,
+) -> ConsensusOutcome:
+    """Functional wrapper around :class:`PartiallyAsynchronousEngine`."""
+    config = SimulationConfig(
+        max_rounds=max_rounds,
+        tolerance=tolerance,
+        record_history=record_history,
+    )
+    engine = PartiallyAsynchronousEngine(
+        graph=graph,
+        rule=rule,
+        faulty=faulty,
+        adversary=adversary,
+        config=config,
+        max_delay=max_delay,
+        update_probability=update_probability,
+        rng=rng,
+    )
+    return engine.run(inputs)

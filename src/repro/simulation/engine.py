@@ -1,0 +1,293 @@
+"""Synchronous round-based simulation engine.
+
+The engine executes exactly the iteration structure of Section 2.3:
+
+1. at the start of iteration ``t`` every fault-free node sends its state
+   ``v_i[t − 1]`` on all outgoing edges, while every faulty node sends whatever
+   its :class:`~repro.adversary.base.ByzantineStrategy` dictates (possibly
+   different values on different edges);
+2. every fault-free node receives one value per incoming edge (the vector
+   ``r_i[t]``);
+3. every fault-free node applies its update rule
+   ``v_i[t] = Z_i(r_i[t], v_i[t − 1])``.
+
+The engine tracks ``U[t]``, ``µ[t]``, the validity condition (eq. 1) and
+convergence, and can optionally record the full execution trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.base import AdversaryContext, ByzantineStrategy, PassiveStrategy
+from repro.algorithms.base import UpdateRule
+from repro.exceptions import (
+    FaultBudgetExceededError,
+    InvalidParameterError,
+    SimulationError,
+    ValidityViolationError,
+)
+from repro.graphs.digraph import Digraph
+from repro.simulation.metrics import ValidityTracker, fault_free_extremes
+from repro.simulation.trace import ExecutionTrace
+from repro.types import ConsensusOutcome, NodeId, ReceivedValue, ValueMap
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Tuning knobs shared by the simulation engines.
+
+    Attributes
+    ----------
+    max_rounds:
+        Maximum number of iterations to execute.
+    tolerance:
+        Convergence is declared when ``U[t] − µ[t] ≤ tolerance``.
+    record_history:
+        Whether to keep the full per-round trace in memory.
+    strict_validity:
+        When true, a violation of the validity condition raises
+        :class:`~repro.exceptions.ValidityViolationError` immediately instead
+        of merely being reported in the outcome.  The paper's algorithms never
+        violate validity, so strict mode is a bug trap (and is exercised by
+        negative tests with the non-fault-tolerant baselines).
+    stop_on_convergence:
+        When true (default), the run stops as soon as the spread reaches the
+        tolerance; otherwise it always executes ``max_rounds`` iterations
+        (useful for convergence-rate measurements over a fixed horizon).
+    """
+
+    max_rounds: int = 500
+    tolerance: float = 1e-7
+    record_history: bool = True
+    strict_validity: bool = False
+    stop_on_convergence: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 0:
+            raise InvalidParameterError(
+                f"max_rounds must be >= 0, got {self.max_rounds}"
+            )
+        if self.tolerance < 0:
+            raise InvalidParameterError(
+                f"tolerance must be >= 0, got {self.tolerance}"
+            )
+
+
+class SynchronousEngine:
+    """Round-based executor of an iterative consensus algorithm.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph ``G(V, E)``.
+    rule:
+        The update rule ``Z_i`` applied by every fault-free node.
+    faulty:
+        The set of Byzantine nodes (``|F| ≤ rule.f`` is enforced).
+    adversary:
+        Behaviour of the faulty nodes; defaults to
+        :class:`~repro.adversary.base.PassiveStrategy` (faulty nodes follow
+        the protocol), which is the correct control when ``faulty`` is empty.
+    config:
+        Engine configuration; see :class:`SimulationConfig`.
+    """
+
+    def __init__(
+        self,
+        graph: Digraph,
+        rule: UpdateRule,
+        faulty: frozenset[NodeId] | set[NodeId] = frozenset(),
+        adversary: ByzantineStrategy | None = None,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self._graph = graph
+        self._rule = rule
+        self._faulty = frozenset(faulty)
+        self._adversary = adversary if adversary is not None else PassiveStrategy()
+        self._config = config if config is not None else SimulationConfig()
+
+        unknown = self._faulty - graph.nodes
+        if unknown:
+            raise InvalidParameterError(
+                f"faulty nodes {sorted(unknown, key=repr)!r} are not in the graph"
+            )
+        if len(self._faulty) > rule.f:
+            raise FaultBudgetExceededError(len(self._faulty), rule.f)
+        fault_free = graph.nodes - self._faulty
+        if not fault_free:
+            raise InvalidParameterError("at least one node must be fault-free")
+        # The structural precondition only needs to hold at fault-free nodes:
+        # faulty nodes never run the rule.
+        rule.validate_graph(graph, nodes=sorted(fault_free, key=repr))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Digraph:
+        """The communication graph."""
+        return self._graph
+
+    @property
+    def rule(self) -> UpdateRule:
+        """The update rule driving fault-free nodes."""
+        return self._rule
+
+    @property
+    def faulty(self) -> frozenset[NodeId]:
+        """The Byzantine node set ``F``."""
+        return self._faulty
+
+    @property
+    def fault_free(self) -> frozenset[NodeId]:
+        """The fault-free node set ``V − F``."""
+        return self._graph.nodes - self._faulty
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The engine configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self, state: dict[NodeId, float], round_index: int) -> dict[NodeId, float]:
+        """Execute one iteration and return the new state of every node.
+
+        ``state`` maps every node to ``v[round_index − 1]``.  Faulty nodes'
+        entries in the returned mapping are their *nominal* values as reported
+        by the adversary strategy (recorded for tracing only).
+        """
+        graph = self._graph
+        context = AdversaryContext(
+            graph=graph,
+            round_index=round_index,
+            values=dict(state),
+            faulty=self._faulty,
+            f=self._rule.f,
+        )
+        # What each faulty node places on each of its outgoing edges.
+        faulty_messages: dict[NodeId, dict[NodeId, float]] = {}
+        for node in self._faulty:
+            outgoing = self._adversary.outgoing_values(node, context)
+            missing = graph.out_neighbors(node) - outgoing.keys()
+            if missing:
+                raise SimulationError(
+                    f"adversary strategy {self._adversary.name!r} did not provide "
+                    f"values for edges {sorted(missing, key=repr)!r} out of faulty "
+                    f"node {node!r}; the synchronous model has no omissions"
+                )
+            faulty_messages[node] = {
+                target: float(value) for target, value in outgoing.items()
+            }
+
+        new_state: dict[NodeId, float] = {}
+        for node in graph.nodes:
+            if node in self._faulty:
+                new_state[node] = float(
+                    self._adversary.nominal_value(node, context)
+                )
+                continue
+            received = []
+            for sender in sorted(graph.in_neighbors(node), key=repr):
+                if sender in self._faulty:
+                    value = faulty_messages[sender][node]
+                else:
+                    value = state[sender]
+                received.append(ReceivedValue(sender=sender, value=value))
+            new_state[node] = float(
+                self._rule.compute(node, state[node], received)
+            )
+        return new_state
+
+    def run(self, inputs: ValueMap) -> ConsensusOutcome:
+        """Run the algorithm from ``inputs`` until convergence or ``max_rounds``.
+
+        ``inputs`` must provide an initial value for every node (faulty nodes'
+        inputs only matter as the adversary's starting nominal state).
+        """
+        graph = self._graph
+        missing = graph.nodes - inputs.keys()
+        if missing:
+            raise InvalidParameterError(
+                f"inputs missing for nodes {sorted(missing, key=repr)!r}"
+            )
+        config = self._config
+        state: dict[NodeId, float] = {
+            node: float(inputs[node]) for node in graph.nodes
+        }
+
+        trace = ExecutionTrace(faulty=self._faulty)
+        validity = ValidityTracker()
+        low, high = fault_free_extremes(state, self._faulty)
+        validity.observe(low, high)
+        initial_spread = high - low
+        if config.record_history:
+            trace.record_round(0, state)
+
+        rounds_executed = 0
+        converged = initial_spread <= config.tolerance and config.stop_on_convergence
+        current_spread = initial_spread
+        for round_index in range(1, config.max_rounds + 1):
+            if converged:
+                break
+            state = self.step(state, round_index)
+            rounds_executed = round_index
+            low, high = fault_free_extremes(state, self._faulty)
+            validity.observe(low, high)
+            if config.strict_validity and not validity.ok:
+                raise ValidityViolationError(
+                    f"validity violated at round {round_index}: the fault-free "
+                    f"interval expanded to [{low}, {high}]"
+                )
+            if config.record_history:
+                trace.record_round(round_index, state)
+            current_spread = high - low
+            if config.stop_on_convergence and current_spread <= config.tolerance:
+                converged = True
+
+        if not config.stop_on_convergence:
+            converged = current_spread <= config.tolerance
+        final_values = {
+            node: state[node] for node in graph.nodes if node not in self._faulty
+        }
+        return ConsensusOutcome(
+            converged=converged,
+            rounds_executed=rounds_executed,
+            final_spread=current_spread,
+            initial_spread=initial_spread,
+            validity_ok=validity.ok,
+            final_values=final_values,
+            history=trace.as_records() if config.record_history else tuple(),
+        )
+
+
+def run_synchronous(
+    graph: Digraph,
+    rule: UpdateRule,
+    inputs: ValueMap,
+    faulty: frozenset[NodeId] | set[NodeId] = frozenset(),
+    adversary: ByzantineStrategy | None = None,
+    max_rounds: int = 500,
+    tolerance: float = 1e-7,
+    record_history: bool = True,
+    strict_validity: bool = False,
+    stop_on_convergence: bool = True,
+) -> ConsensusOutcome:
+    """Functional wrapper around :class:`SynchronousEngine`.
+
+    Convenient for one-off runs in examples and tests; the class interface is
+    preferable when stepping manually or reusing the engine across inputs.
+    """
+    config = SimulationConfig(
+        max_rounds=max_rounds,
+        tolerance=tolerance,
+        record_history=record_history,
+        strict_validity=strict_validity,
+        stop_on_convergence=stop_on_convergence,
+    )
+    engine = SynchronousEngine(
+        graph=graph, rule=rule, faulty=faulty, adversary=adversary, config=config
+    )
+    return engine.run(inputs)

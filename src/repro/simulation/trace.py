@@ -1,0 +1,125 @@
+"""Execution traces: the full per-round history of a consensus run.
+
+A trace is a sequence of :class:`~repro.types.RoundRecord` objects (round 0 is
+the initial state).  Traces power the convergence-rate analysis (experiment
+E7), plotting in the examples, and the regression tests that compare measured
+contraction against the Lemma-5 bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.metrics import fault_free_extremes
+from repro.types import NodeId, RoundRecord
+
+
+@dataclass
+class ExecutionTrace:
+    """Mutable collection of per-round records for one consensus execution."""
+
+    faulty: frozenset[NodeId] = frozenset()
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def record_round(self, round_index: int, values: Mapping[NodeId, float]) -> RoundRecord:
+        """Append the state at the end of ``round_index`` and return the record."""
+        if self.records and round_index != self.records[-1].round_index + 1:
+            raise InvalidParameterError(
+                f"round {round_index} recorded out of order; expected "
+                f"{self.records[-1].round_index + 1}"
+            )
+        low, high = fault_free_extremes(values, self.faulty)
+        record = RoundRecord(
+            round_index=round_index,
+            values=dict(values),
+            fault_free_max=high,
+            fault_free_min=low,
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RoundRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> RoundRecord:
+        return self.records[index]
+
+    @property
+    def rounds(self) -> int:
+        """Number of executed iterations (excluding the initial round 0)."""
+        return max(0, len(self.records) - 1)
+
+    def spreads(self) -> np.ndarray:
+        """Return the array of fault-free spreads ``U[t] − µ[t]`` per round."""
+        return np.array([record.spread for record in self.records], dtype=float)
+
+    def maxima(self) -> np.ndarray:
+        """Return the array of ``U[t]`` per round."""
+        return np.array([record.fault_free_max for record in self.records], dtype=float)
+
+    def minima(self) -> np.ndarray:
+        """Return the array of ``µ[t]`` per round."""
+        return np.array([record.fault_free_min for record in self.records], dtype=float)
+
+    def node_series(self, node: NodeId) -> np.ndarray:
+        """Return the state trajectory of a single node across all rounds."""
+        try:
+            return np.array(
+                [record.values[node] for record in self.records], dtype=float
+            )
+        except KeyError as error:
+            raise InvalidParameterError(
+                f"node {node!r} does not appear in the trace"
+            ) from error
+
+    def fault_free_values(self, round_index: int) -> dict[NodeId, float]:
+        """Return fault-free node states at a given round."""
+        record = self.records[round_index]
+        return {
+            node: value
+            for node, value in record.values.items()
+            if node not in self.faulty
+        }
+
+    def as_records(self) -> tuple[RoundRecord, ...]:
+        """Return an immutable snapshot of the trace."""
+        return tuple(self.records)
+
+    # ------------------------------------------------------------------
+    # Serialisation for reports
+    # ------------------------------------------------------------------
+    def summary_rows(self, every: int = 1) -> list[dict[str, float]]:
+        """Return a list of ``{round, min, max, spread}`` rows for reporting.
+
+        ``every`` subsamples the trace (e.g. ``every=10`` keeps rounds
+        0, 10, 20, …, always including the final round).
+        """
+        if every < 1:
+            raise InvalidParameterError(f"every must be >= 1, got {every}")
+        rows = []
+        for record in self.records:
+            if record.round_index % every == 0 or record is self.records[-1]:
+                rows.append(
+                    {
+                        "round": float(record.round_index),
+                        "min": record.fault_free_min,
+                        "max": record.fault_free_max,
+                        "spread": record.spread,
+                    }
+                )
+        return rows
+
+
+def spreads_from_records(records: Sequence[RoundRecord]) -> np.ndarray:
+    """Return the spread series from a sequence of round records."""
+    return np.array([record.spread for record in records], dtype=float)

@@ -1,0 +1,68 @@
+"""Shared pytest fixtures: small graphs and rule instances reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import TrimmedMeanRule
+from repro.graphs import (
+    Digraph,
+    chord_network,
+    complete_graph,
+    core_network,
+    hypercube,
+)
+
+
+@pytest.fixture
+def triangle() -> Digraph:
+    """The symmetric triangle (complete graph on 3 nodes)."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def complete4() -> Digraph:
+    """Complete graph on 4 nodes (smallest feasible for f = 1)."""
+    return complete_graph(4)
+
+
+@pytest.fixture
+def complete7() -> Digraph:
+    """Complete graph on 7 nodes (smallest feasible for f = 2)."""
+    return complete_graph(7)
+
+
+@pytest.fixture
+def core_7_2() -> Digraph:
+    """Core network with n = 7, f = 2 (Section 6.1, smallest for f = 2)."""
+    return core_network(7, 2)
+
+
+@pytest.fixture
+def chord_5_1() -> Digraph:
+    """Chord network with n = 5, f = 1 (feasible; Section 6.3)."""
+    return chord_network(5, 1)
+
+
+@pytest.fixture
+def chord_7_2() -> Digraph:
+    """Chord network with n = 7, f = 2 (infeasible; Section 6.3)."""
+    return chord_network(7, 2)
+
+
+@pytest.fixture
+def cube3() -> Digraph:
+    """The 3-dimensional binary hypercube (Figure 3)."""
+    return hypercube(3)
+
+
+@pytest.fixture
+def trimmed_f1() -> TrimmedMeanRule:
+    """Algorithm 1 configured for f = 1."""
+    return TrimmedMeanRule(1)
+
+
+@pytest.fixture
+def trimmed_f2() -> TrimmedMeanRule:
+    """Algorithm 1 configured for f = 2."""
+    return TrimmedMeanRule(2)

@@ -1,0 +1,180 @@
+"""Unit tests for adversary strategies and fault-set selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    AdversaryContext,
+    BroadcastConsistentStrategy,
+    ExtremePushStrategy,
+    FrozenValueStrategy,
+    PassiveStrategy,
+    RandomNoiseStrategy,
+    SplitBrainStrategy,
+    StaticValueStrategy,
+    fault_set_from_witness,
+    highest_in_degree_fault_set,
+    highest_out_degree_fault_set,
+    random_fault_set,
+)
+from repro.conditions import chord_n7_f2_witness
+from repro.exceptions import FaultBudgetExceededError, InvalidParameterError
+from repro.graphs import chord_network, complete_graph, star_graph
+from repro.types import PartitionWitness
+
+
+def make_context(graph, values, faulty, f=1, round_index=1):
+    return AdversaryContext(
+        graph=graph,
+        round_index=round_index,
+        values=values,
+        faulty=frozenset(faulty),
+        f=f,
+    )
+
+
+class TestAdversaryContext:
+    def test_fault_free_views(self):
+        graph = complete_graph(4)
+        context = make_context(graph, {0: 0.0, 1: 1.0, 2: 2.0, 3: 5.0}, faulty={3})
+        assert context.fault_free_nodes == frozenset({0, 1, 2})
+        assert context.fault_free_values == {0: 0.0, 1: 1.0, 2: 2.0}
+        assert context.fault_free_max == 2.0
+        assert context.fault_free_min == 0.0
+
+
+class TestStrategies:
+    def test_passive_sends_own_value_everywhere(self):
+        graph = complete_graph(3)
+        context = make_context(graph, {0: 7.0, 1: 1.0, 2: 2.0}, faulty={0})
+        values = PassiveStrategy().outgoing_values(0, context)
+        assert values == {1: 7.0, 2: 7.0}
+
+    def test_static_value(self):
+        graph = complete_graph(3)
+        context = make_context(graph, {0: 7.0, 1: 1.0, 2: 2.0}, faulty={0})
+        strategy = StaticValueStrategy(-42.0)
+        assert strategy.outgoing_values(0, context) == {1: -42.0, 2: -42.0}
+        assert strategy.nominal_value(0, context) == -42.0
+
+    def test_frozen_value_persists_initial_state(self):
+        graph = complete_graph(3)
+        strategy = FrozenValueStrategy()
+        first = make_context(graph, {0: 7.0, 1: 1.0, 2: 2.0}, faulty={0})
+        later = make_context(graph, {0: 99.0, 1: 1.0, 2: 2.0}, faulty={0}, round_index=5)
+        assert strategy.outgoing_values(0, first)[1] == 7.0
+        assert strategy.outgoing_values(0, later)[1] == 7.0
+        assert strategy.nominal_value(0, later) == 7.0
+
+    def test_random_noise_within_bounds_and_deterministic(self):
+        graph = complete_graph(4)
+        context = make_context(graph, {node: 0.0 for node in graph.nodes}, faulty={0})
+        first = RandomNoiseStrategy(-2.0, 3.0, rng=5).outgoing_values(0, context)
+        second = RandomNoiseStrategy(-2.0, 3.0, rng=5).outgoing_values(0, context)
+        assert first == second
+        assert all(-2.0 <= value <= 3.0 for value in first.values())
+
+    def test_random_noise_invalid_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            RandomNoiseStrategy(3.0, -3.0)
+
+    def test_extreme_push_targets_both_ends(self):
+        graph = complete_graph(4)
+        context = make_context(
+            graph, {0: 0.0, 1: 0.0, 2: 1.0, 3: 0.5}, faulty={3}
+        )
+        values = ExtremePushStrategy(delta=1.0).outgoing_values(3, context)
+        # Nodes at/above the midpoint (0.5) get pushed up, others down.
+        assert values[2] == pytest.approx(2.0)
+        assert values[0] == pytest.approx(-1.0)
+
+    def test_extreme_push_invalid_delta(self):
+        with pytest.raises(InvalidParameterError):
+            ExtremePushStrategy(delta=-0.1)
+
+    def test_split_brain_sends_below_and_above(self):
+        graph = chord_network(7, 2)
+        witness = chord_n7_f2_witness()
+        strategy = SplitBrainStrategy(witness, 0.0, 1.0, margin=0.5)
+        context = make_context(
+            graph, {node: 0.5 for node in graph.nodes}, faulty=witness.faulty, f=2
+        )
+        values = strategy.outgoing_values(5, context)
+        for target, value in values.items():
+            if target in witness.left:
+                assert value == pytest.approx(-0.5)
+            elif target in witness.right:
+                assert value == pytest.approx(1.5)
+            else:
+                assert value == pytest.approx(0.5)
+
+    def test_split_brain_recommended_inputs(self):
+        witness = chord_n7_f2_witness()
+        inputs = SplitBrainStrategy(witness, 0.0, 1.0).recommended_inputs()
+        assert all(inputs[node] == 0.0 for node in witness.left)
+        assert all(inputs[node] == 1.0 for node in witness.right)
+        assert all(inputs[node] == 0.5 for node in witness.faulty)
+
+    def test_split_brain_invalid_parameters(self):
+        witness = chord_n7_f2_witness()
+        with pytest.raises(InvalidParameterError):
+            SplitBrainStrategy(witness, 1.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            SplitBrainStrategy(witness, 0.0, 1.0, margin=0.0)
+
+    def test_broadcast_wrapper_collapses_to_single_value(self):
+        graph = complete_graph(4)
+        context = make_context(
+            graph, {0: 0.0, 1: 0.0, 2: 1.0, 3: 0.5}, faulty={3}
+        )
+        wrapped = BroadcastConsistentStrategy(ExtremePushStrategy(delta=1.0))
+        values = wrapped.outgoing_values(3, context)
+        assert len(set(values.values())) == 1
+        assert "broadcast(" in wrapped.name
+
+
+class TestFaultSelection:
+    def test_random_fault_set_size_and_budget(self):
+        graph = complete_graph(6)
+        selected = random_fault_set(graph, 2, rng=3)
+        assert len(selected) == 2
+        assert selected <= graph.nodes
+
+    def test_random_fault_set_zero(self):
+        assert random_fault_set(complete_graph(4), 0) == frozenset()
+
+    def test_random_fault_set_deterministic(self):
+        graph = complete_graph(8)
+        assert random_fault_set(graph, 3, rng=9) == random_fault_set(graph, 3, rng=9)
+
+    def test_size_exceeding_budget_rejected(self):
+        with pytest.raises(FaultBudgetExceededError):
+            random_fault_set(complete_graph(4), 1, size=2)
+
+    def test_size_exceeding_nodes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            random_fault_set(complete_graph(2), 5, size=3)
+
+    def test_highest_in_degree(self):
+        # In a star, the hub has the largest in-degree.
+        assert highest_in_degree_fault_set(star_graph(6), 1) == frozenset({0})
+
+    def test_highest_out_degree(self):
+        assert highest_out_degree_fault_set(star_graph(6), 1) == frozenset({0})
+
+    def test_fault_set_from_witness(self):
+        witness = chord_n7_f2_witness()
+        assert fault_set_from_witness(witness, 2) == frozenset({5, 6})
+        with pytest.raises(FaultBudgetExceededError):
+            fault_set_from_witness(witness, 1)
+
+    def test_fault_set_from_witness_negative_f(self):
+        witness = PartitionWitness(
+            faulty=frozenset(),
+            left=frozenset({0}),
+            center=frozenset(),
+            right=frozenset({1}),
+        )
+        with pytest.raises(InvalidParameterError):
+            fault_set_from_witness(witness, -1)

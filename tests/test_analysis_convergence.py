@@ -1,0 +1,160 @@
+"""Unit tests for the convergence-rate analysis (α, Lemma 5, Theorem 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import ExtremePushStrategy
+from repro.algorithms import TrimmedMeanRule, TrimmedMidpointRule
+from repro.analysis import (
+    alpha_for_rule,
+    lemma5_contraction_factor,
+    rounds_to_reach,
+    rounds_until_tolerance,
+    verify_theorem3_windows,
+    worst_case_window_length,
+)
+from repro.analysis.convergence import empirical_decay_rate
+from repro.exceptions import InvalidParameterError, NotApplicableError
+from repro.graphs import chord_network, complete_graph, core_network, hypercube
+from repro.simulation import bimodal_inputs, linear_ramp_inputs, run_synchronous
+
+
+class TestAlpha:
+    def test_alpha_complete_graph(self):
+        # a_i = 1 / (n - 2f) on a complete graph.
+        assert alpha_for_rule(complete_graph(7), TrimmedMeanRule(2)) == pytest.approx(
+            1.0 / 3.0
+        )
+
+    def test_alpha_core_network_dominated_by_clique_nodes(self):
+        # Clique nodes see every other node, outsiders only see the clique, so
+        # the minimum weight comes from the clique nodes (largest in-degree).
+        graph = core_network(8, 2)
+        assert alpha_for_rule(graph, TrimmedMeanRule(2)) == pytest.approx(
+            1.0 / (7 + 1 - 4)
+        )
+
+    def test_alpha_restricted_to_fault_free(self):
+        graph = core_network(8, 2)
+        outsiders_only = frozenset(range(5, 8))
+        assert alpha_for_rule(
+            graph, TrimmedMeanRule(2), fault_free=outsiders_only
+        ) == pytest.approx(1.0 / (5 + 1 - 4))
+
+    def test_alpha_undefined_for_midpoint_rule(self):
+        with pytest.raises(NotApplicableError):
+            alpha_for_rule(complete_graph(5), TrimmedMidpointRule(1))
+
+
+class TestAnalyticalBounds:
+    def test_lemma5_factor(self):
+        assert lemma5_contraction_factor(0.5, 1) == pytest.approx(0.75)
+        assert lemma5_contraction_factor(0.5, 2) == pytest.approx(0.875)
+        assert lemma5_contraction_factor(1.0, 1) == pytest.approx(0.5)
+
+    def test_lemma5_factor_validation(self):
+        with pytest.raises(InvalidParameterError):
+            lemma5_contraction_factor(0.0, 1)
+        with pytest.raises(InvalidParameterError):
+            lemma5_contraction_factor(0.5, 0)
+
+    def test_worst_case_window_length(self):
+        assert worst_case_window_length(8, 2) == 5
+        with pytest.raises(InvalidParameterError):
+            worst_case_window_length(3, 2)
+
+    def test_rounds_to_reach_monotone_in_target(self):
+        loose = rounds_to_reach(1.0, 1e-2, alpha=0.25, window_length=2)
+        tight = rounds_to_reach(1.0, 1e-6, alpha=0.25, window_length=2)
+        assert tight > loose > 0
+
+    def test_rounds_to_reach_zero_when_already_there(self):
+        assert rounds_to_reach(0.5, 1.0, alpha=0.5, window_length=3) == 0
+
+    def test_rounds_to_reach_validation(self):
+        with pytest.raises(InvalidParameterError):
+            rounds_to_reach(1.0, 0.0, 0.5, 1)
+        with pytest.raises(InvalidParameterError):
+            rounds_to_reach(-1.0, 0.5, 0.5, 1)
+
+    def test_bound_is_sound_against_measurement(self):
+        # The analytical round bound must never be smaller than the measured
+        # number of rounds the algorithm actually needs.
+        graph = complete_graph(7)
+        rule = TrimmedMeanRule(2)
+        inputs = bimodal_inputs(graph.nodes, 0.0, 1.0, rng=0)
+        outcome = run_synchronous(
+            graph, rule, inputs, max_rounds=400, tolerance=1e-4,
+        )
+        alpha = alpha_for_rule(graph, rule)
+        bound = rounds_to_reach(
+            outcome.initial_spread, 1e-4, alpha, worst_case_window_length(7, 2)
+        )
+        assert outcome.converged
+        assert bound >= outcome.rounds_executed
+
+
+class TestEmpiricalEstimates:
+    def test_decay_rate_of_geometric_series(self):
+        spreads = [1.0 * (0.5**t) for t in range(10)]
+        assert empirical_decay_rate(spreads) == pytest.approx(0.5, rel=1e-6)
+
+    def test_decay_rate_requires_two_rounds(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_decay_rate([1.0])
+
+    def test_decay_rate_instant_agreement(self):
+        assert empirical_decay_rate([0.0, 0.0, 0.0]) == 0.0
+
+    def test_rounds_until_tolerance(self):
+        assert rounds_until_tolerance([1.0, 0.5, 0.05, 0.01], 0.05) == 2
+        assert rounds_until_tolerance([1.0, 0.5], 0.01) is None
+        with pytest.raises(InvalidParameterError):
+            rounds_until_tolerance([1.0], -1.0)
+
+
+class TestTheorem3Windows:
+    @pytest.mark.parametrize(
+        "graph,f",
+        [
+            (complete_graph(7), 2),
+            (core_network(7, 2), 2),
+            (chord_network(5, 1), 1),
+        ],
+    )
+    def test_measured_contraction_respects_lemma5(self, graph, f):
+        rule = TrimmedMeanRule(f)
+        faulty = frozenset(sorted(graph.nodes, key=repr)[-f:]) if f else frozenset()
+        outcome = run_synchronous(
+            graph,
+            rule,
+            bimodal_inputs(graph.nodes, 0.0, 1.0, rng=1),
+            faulty=faulty,
+            adversary=ExtremePushStrategy(delta=2.0),
+            max_rounds=80,
+            tolerance=1e-12,
+            stop_on_convergence=False,
+        )
+        alpha = alpha_for_rule(graph, rule, fault_free=graph.nodes - faulty)
+        checks = verify_theorem3_windows(
+            outcome.history, graph, f, alpha, faulty=faulty
+        )
+        assert checks, "at least one window should have been analysed"
+        assert all(check.satisfied for check in checks)
+        assert all(check.window_length >= 1 for check in checks)
+
+    def test_infeasible_graph_raises_not_applicable(self):
+        graph = hypercube(3)
+        rule = TrimmedMeanRule(1)
+        inputs = {node: (0.0 if node < 4 else 1.0) for node in graph.nodes}
+        outcome = run_synchronous(
+            graph, rule, inputs, max_rounds=5, stop_on_convergence=False,
+            tolerance=1e-12,
+        )
+        with pytest.raises(NotApplicableError):
+            verify_theorem3_windows(outcome.history, graph, 1, alpha=0.5)
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            verify_theorem3_windows([], complete_graph(4), 1, alpha=0.5)

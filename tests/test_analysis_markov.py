@@ -1,0 +1,115 @@
+"""Unit tests for the matrix / spectral view of the dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LinearAverageRule, TrimmedMeanRule
+from repro.analysis import (
+    effective_update_matrix,
+    is_row_stochastic,
+    linear_average_matrix,
+    node_ordering,
+    predicted_rounds_linear,
+    second_largest_eigenvalue_modulus,
+    spectral_gap,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs import complete_graph, directed_ring, undirected_ring
+from repro.simulation import linear_ramp_inputs, run_synchronous
+from repro.types import ReceivedValue
+
+
+class TestLinearAverageMatrix:
+    def test_row_stochastic_on_every_family(self):
+        for graph in [complete_graph(5), directed_ring(6), undirected_ring(5)]:
+            matrix = linear_average_matrix(graph)
+            assert is_row_stochastic(matrix)
+
+    def test_weights_match_rule(self):
+        graph = complete_graph(4)
+        matrix = linear_average_matrix(graph)
+        np.testing.assert_allclose(matrix, np.full((4, 4), 0.25))
+
+    def test_matrix_predicts_one_round_of_simulation(self):
+        graph = undirected_ring(5)
+        matrix = linear_average_matrix(graph)
+        ordering = node_ordering(graph)
+        inputs = linear_ramp_inputs(graph.nodes)
+        vector = np.array([inputs[node] for node in ordering])
+        outcome = run_synchronous(
+            graph, LinearAverageRule(0), inputs, max_rounds=1,
+            stop_on_convergence=False,
+        )
+        predicted = matrix @ vector
+        for index, node in enumerate(ordering):
+            assert outcome.history[1].values[node] == pytest.approx(predicted[index])
+
+    def test_node_ordering_deterministic(self):
+        graph = complete_graph(4)
+        assert node_ordering(graph) == [0, 1, 2, 3]
+
+
+class TestSpectral:
+    def test_complete_graph_has_large_gap(self):
+        matrix = linear_average_matrix(complete_graph(6))
+        assert second_largest_eigenvalue_modulus(matrix) == pytest.approx(0.0, abs=1e-9)
+        assert spectral_gap(matrix) == pytest.approx(1.0, abs=1e-9)
+
+    def test_ring_has_small_gap(self):
+        gap_small = spectral_gap(linear_average_matrix(undirected_ring(20)))
+        gap_large = spectral_gap(linear_average_matrix(undirected_ring(6)))
+        assert 0 < gap_small < gap_large < 1
+
+    def test_single_node_matrix(self):
+        assert second_largest_eigenvalue_modulus(np.array([[1.0]])) == 0.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            second_largest_eigenvalue_modulus(np.zeros((2, 3)))
+        with pytest.raises(InvalidParameterError):
+            is_row_stochastic(np.zeros((2, 3)))
+
+    def test_is_row_stochastic_negative_entries(self):
+        matrix = np.array([[1.5, -0.5], [0.5, 0.5]])
+        assert not is_row_stochastic(matrix)
+
+    def test_predicted_rounds_linear(self):
+        graph = undirected_ring(8)
+        rounds = predicted_rounds_linear(graph, initial_spread=1.0, tolerance=1e-3)
+        assert rounds > 0
+        assert predicted_rounds_linear(graph, 1.0, 2.0) == 0
+        with pytest.raises(InvalidParameterError):
+            predicted_rounds_linear(graph, 0.0, 1e-3)
+
+
+class TestEffectiveUpdateMatrix:
+    def test_structure_of_one_round(self):
+        graph = complete_graph(4)
+        rule = TrimmedMeanRule(1)
+        profile = {
+            node: [
+                ReceivedValue(sender=other, value=float(other))
+                for other in sorted(graph.in_neighbors(node))
+            ]
+            for node in graph.nodes
+        }
+        matrix = effective_update_matrix(graph, rule, profile)
+        assert is_row_stochastic(matrix)
+        # Every diagonal entry is the node's weight a_i = 1 / (3 + 1 - 2) = 0.5,
+        # which is also alpha for this graph.
+        np.testing.assert_allclose(np.diag(matrix), 0.5)
+
+    def test_nodes_missing_from_profile_keep_their_value(self):
+        graph = complete_graph(3)
+        rule = TrimmedMeanRule(0)
+        matrix = effective_update_matrix(graph, rule, {})
+        np.testing.assert_allclose(matrix, np.eye(3))
+
+    def test_unknown_sender_rejected(self):
+        graph = complete_graph(3)
+        rule = TrimmedMeanRule(0)
+        profile = {0: [ReceivedValue(sender=99, value=1.0)]}
+        with pytest.raises(InvalidParameterError):
+            effective_update_matrix(graph, rule, profile)

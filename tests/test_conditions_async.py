@@ -1,0 +1,110 @@
+"""Unit tests for the asynchronous condition (Section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions import (
+    async_threshold,
+    check_async_feasibility,
+    find_async_violating_partition,
+    passes_async_count_screen,
+    passes_async_in_degree_screen,
+    satisfies_async_condition,
+    satisfies_theorem1,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs import complete_graph, core_network, hypercube
+
+
+class TestAsyncThreshold:
+    @pytest.mark.parametrize("f,expected", [(0, 1), (1, 3), (2, 5), (3, 7)])
+    def test_threshold_is_2f_plus_1(self, f, expected):
+        assert async_threshold(f) == expected
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            async_threshold(-1)
+
+
+class TestAsyncScreens:
+    @pytest.mark.parametrize(
+        "n,f,expected",
+        [(6, 1, True), (5, 1, False), (11, 2, True), (10, 2, False), (3, 0, True)],
+    )
+    def test_count_screen_n_gt_5f(self, n, f, expected):
+        assert passes_async_count_screen(n, f) is expected
+
+    def test_count_screen_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            passes_async_count_screen(0, 1)
+
+    def test_in_degree_screen_3f_plus_1(self):
+        # Complete graph on 6 nodes has in-degree 5 >= 3*1 + 1 = 4.
+        assert passes_async_in_degree_screen(complete_graph(6), 1)
+        # Hypercube d=3 has in-degree 3 < 4.
+        assert not passes_async_in_degree_screen(hypercube(3), 1)
+        assert passes_async_in_degree_screen(hypercube(3), 0)
+
+
+class TestAsyncCondition:
+    def test_complete_graph_boundary_n_gt_5f(self):
+        # The complete graph satisfies the async condition iff n > 5f.
+        assert satisfies_async_condition(complete_graph(6), 1)
+        assert not satisfies_async_condition(complete_graph(5), 1)
+        assert satisfies_async_condition(complete_graph(11), 2)
+        assert not satisfies_async_condition(complete_graph(11), 3)
+
+    def test_async_strictly_stronger_than_sync(self):
+        # n = 6, f = 1: sync holds and async holds; n = 5, f = 1: sync holds
+        # but async fails; a graph failing sync must also fail async.
+        assert satisfies_theorem1(complete_graph(5), 1)
+        assert not satisfies_async_condition(complete_graph(5), 1)
+        assert not satisfies_theorem1(hypercube(3), 1)
+        assert not satisfies_async_condition(hypercube(3), 1)
+
+    def test_core_network_needs_larger_clique_for_async(self):
+        # The synchronous core network for f=1 (clique of 3) does not provide
+        # the 3f+1 = 4 in-degree everywhere, so the async condition fails even
+        # though the sync condition holds.
+        graph = core_network(6, 1)
+        assert satisfies_theorem1(graph, 1)
+        assert not satisfies_async_condition(graph, 1)
+
+    def test_f0_async_equals_sync(self):
+        graph = hypercube(3)
+        assert satisfies_async_condition(graph, 0) == satisfies_theorem1(graph, 0)
+
+    def test_async_witness_is_genuine(self):
+        witness = find_async_violating_partition(complete_graph(5), 1)
+        assert witness is not None
+        # The witness violates the condition at threshold 2f + 1 = 3.
+        from repro.conditions import verify_witness
+
+        assert verify_witness(complete_graph(5), 1, witness, threshold=3)
+
+
+class TestAsyncFeasibilityPipeline:
+    def test_screen_methods_reported(self):
+        result = check_async_feasibility(complete_graph(5), 1)
+        assert not result.satisfied
+        assert result.method == "screen:n>5f"
+
+        result = check_async_feasibility(hypercube(3), 1)
+        assert not result.satisfied
+        assert result.method in {"screen:n>5f", "screen:in-degree"}
+
+    def test_structural_complete_shortcut(self):
+        result = check_async_feasibility(complete_graph(6), 1)
+        assert result.satisfied
+        assert result.method == "structural:complete"
+
+    def test_exhaustive_path(self):
+        graph = core_network(8, 1)
+        # Add enough extra edges among outsiders to pass the in-degree screen.
+        for first in range(3, 8):
+            for second in range(3, 8):
+                if first != second:
+                    graph.add_edge(first, second)
+        result = check_async_feasibility(graph, 1)
+        assert result.method in {"exhaustive", "structural:complete"}

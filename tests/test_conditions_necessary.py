@@ -1,0 +1,279 @@
+"""Unit tests for the Theorem-1 checkers, corollary screens and structural
+shortcuts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions import (
+    check_feasibility,
+    find_core_clique,
+    find_violating_partition,
+    is_core_network,
+    maximal_insulated_subset,
+    passes_count_screen,
+    passes_in_degree_screen,
+    satisfies_theorem1,
+    verify_witness,
+    violates_condition,
+)
+from repro.exceptions import (
+    GraphTooLargeError,
+    InvalidParameterError,
+    InvalidPartitionError,
+)
+from repro.graphs import (
+    Digraph,
+    butterfly_barbell,
+    chord_network,
+    complete_graph,
+    core_network,
+    directed_ring,
+    hypercube,
+    star_graph,
+    undirected_ring,
+    without_edges,
+)
+from repro.types import PartitionWitness
+
+
+class TestSinglePartitionCheck:
+    def test_hypercube_dimension_cut_violates(self, cube3):
+        assert violates_condition(
+            cube3, 1, faulty=[], left={0, 1, 2, 3}, center=[], right={4, 5, 6, 7}
+        )
+
+    def test_complete_graph_partition_does_not_violate(self, complete7):
+        assert not violates_condition(
+            complete7, 2, faulty={5, 6}, left={0, 2}, center=[], right={1, 3, 4}
+        )
+
+    def test_paper_chord_witness_violates(self, chord_7_2):
+        assert violates_condition(
+            chord_7_2, 2, faulty={5, 6}, left={0, 2}, center=[], right={1, 3, 4}
+        )
+
+    def test_partition_must_cover_vertex_set(self, complete4):
+        with pytest.raises(InvalidPartitionError):
+            violates_condition(complete4, 1, faulty=[], left={0}, center=[], right={1})
+
+    def test_partition_parts_must_be_disjoint(self, complete4):
+        with pytest.raises(InvalidPartitionError):
+            violates_condition(
+                complete4, 1, faulty=[0], left={0, 1}, center=[2], right={3}
+            )
+
+    def test_fault_budget_enforced(self, complete7):
+        with pytest.raises(InvalidPartitionError):
+            violates_condition(
+                complete7, 1, faulty={0, 1}, left={2, 3}, center={4}, right={5, 6}
+            )
+
+    def test_empty_left_or_right_rejected(self, complete4):
+        with pytest.raises(InvalidPartitionError):
+            violates_condition(
+                complete4, 1, faulty=[0], left=[], center={1, 2}, right={3}
+            )
+
+    def test_negative_f_rejected(self, complete4):
+        with pytest.raises(InvalidParameterError):
+            violates_condition(complete4, -1, faulty=[], left={0}, center={1, 2}, right={3})
+
+    def test_verify_witness_accepts_and_rejects(self, chord_7_2, complete7):
+        witness = PartitionWitness(
+            faulty=frozenset({5, 6}),
+            left=frozenset({0, 2}),
+            center=frozenset(),
+            right=frozenset({1, 3, 4}),
+        )
+        assert verify_witness(chord_7_2, 2, witness)
+        assert not verify_witness(complete7, 2, witness)
+
+    def test_verify_witness_wrong_vertex_set_is_false(self, complete4):
+        witness = PartitionWitness(
+            faulty=frozenset(),
+            left=frozenset({0}),
+            center=frozenset(),
+            right=frozenset({1}),
+        )
+        assert not verify_witness(complete4, 1, witness)
+
+
+class TestScreens:
+    @pytest.mark.parametrize(
+        "n,f,expected",
+        [(4, 1, True), (3, 1, False), (7, 2, True), (6, 2, False), (1, 0, True)],
+    )
+    def test_count_screen(self, n, f, expected):
+        assert passes_count_screen(n, f) is expected
+
+    def test_count_screen_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            passes_count_screen(0, 1)
+        with pytest.raises(InvalidParameterError):
+            passes_count_screen(5, -1)
+
+    def test_in_degree_screen(self, complete7, cube3):
+        assert passes_in_degree_screen(complete7, 2)
+        assert passes_in_degree_screen(cube3, 1)
+        assert not passes_in_degree_screen(cube3, 2)
+        assert passes_in_degree_screen(cube3, 0)
+
+    def test_in_degree_screen_star(self):
+        assert not passes_in_degree_screen(star_graph(5), 1)
+
+
+class TestInsulatedSubset:
+    def test_maximal_insulated_subset_of_hypercube_half(self, cube3):
+        universe = cube3.nodes
+        pool = frozenset({4, 5, 6, 7})
+        result = maximal_insulated_subset(cube3, pool, universe, threshold=2)
+        assert result == pool  # each node has only 1 in-neighbour outside
+
+    def test_maximal_insulated_subset_empty_in_complete_graph(self, complete7):
+        universe = complete7.nodes
+        pool = frozenset({0, 1, 2})
+        assert (
+            maximal_insulated_subset(complete7, pool, universe, threshold=3)
+            == frozenset()
+        )
+
+    def test_partial_shrinkage(self):
+        # Node 2 has two in-neighbours outside the pool, nodes 3 and 4 have none.
+        graph = Digraph(edges=[(0, 2), (1, 2), (3, 4), (4, 3)])
+        universe = graph.nodes
+        pool = frozenset({2, 3, 4})
+        assert maximal_insulated_subset(graph, pool, universe, threshold=2) == frozenset(
+            {3, 4}
+        )
+
+
+class TestExhaustiveChecker:
+    def test_complete_graphs_threshold(self):
+        # Corollary 2 boundary: complete graphs satisfy iff n > 3f.
+        assert satisfies_theorem1(complete_graph(4), 1)
+        assert not satisfies_theorem1(complete_graph(3), 1)
+        assert satisfies_theorem1(complete_graph(7), 2)
+        assert not satisfies_theorem1(complete_graph(6), 2)
+
+    def test_paper_chord_cases(self):
+        assert satisfies_theorem1(chord_network(4, 1), 1)
+        assert satisfies_theorem1(chord_network(5, 1), 1)
+        assert not satisfies_theorem1(chord_network(7, 2), 2)
+
+    def test_hypercube_fails_for_f1(self, cube3):
+        witness = find_violating_partition(cube3, 1)
+        assert witness is not None
+        assert verify_witness(cube3, 1, witness)
+
+    def test_hypercube_satisfies_for_f0(self, cube3):
+        assert satisfies_theorem1(cube3, 0)
+
+    def test_core_networks_satisfy(self):
+        assert satisfies_theorem1(core_network(4, 1), 1)
+        assert satisfies_theorem1(core_network(7, 2), 2)
+        assert satisfies_theorem1(core_network(8, 2), 2)
+
+    def test_witness_is_always_genuine(self):
+        # Whatever witness the checker returns must verify.
+        for graph, f in [
+            (chord_network(7, 2), 2),
+            (hypercube(3), 1),
+            (undirected_ring(6), 1),
+            (butterfly_barbell(4, 1), 1),
+        ]:
+            witness = find_violating_partition(graph, f)
+            assert witness is not None
+            assert verify_witness(graph, f, witness)
+
+    def test_f0_directed_ring_satisfies(self):
+        # With f = 0 the condition reduces to "no two disjoint closed sets";
+        # a strongly connected graph satisfies it.
+        assert satisfies_theorem1(directed_ring(5), 0)
+
+    def test_f0_two_disconnected_components_fail(self):
+        graph = Digraph(edges=[(0, 1), (1, 0), (2, 3), (3, 2)])
+        witness = find_violating_partition(graph, 0)
+        assert witness is not None
+
+    def test_single_node_graph_is_vacuously_feasible(self):
+        assert satisfies_theorem1(Digraph(nodes=[0]), 1)
+
+    def test_node_cap_enforced(self):
+        with pytest.raises(GraphTooLargeError):
+            find_violating_partition(complete_graph(20), 1, max_nodes=10)
+
+    def test_node_cap_can_be_raised(self):
+        # 12 nodes exceeds a deliberately low cap but is fast to enumerate.
+        with pytest.raises(GraphTooLargeError):
+            find_violating_partition(complete_graph(12), 1, max_nodes=10)
+        assert satisfies_theorem1(complete_graph(12), 1, max_nodes=12)
+
+    def test_negative_f_rejected(self, complete4):
+        with pytest.raises(InvalidParameterError):
+            find_violating_partition(complete4, -1)
+
+    def test_monotone_under_edge_addition(self):
+        # Removing edges from a feasible graph can break the condition, and
+        # adding them back must restore it: start from complete_graph(4) minus
+        # one node's incoming edges.
+        broken = without_edges(complete_graph(4), [(1, 0), (2, 0)])
+        assert not satisfies_theorem1(broken, 1)
+        assert satisfies_theorem1(complete_graph(4), 1)
+
+
+class TestStructuralShortcuts:
+    def test_find_core_clique_on_core_network(self):
+        graph = core_network(9, 2)
+        clique = find_core_clique(graph, 2)
+        assert clique == frozenset(range(5))
+
+    def test_find_core_clique_absent(self, cube3):
+        assert find_core_clique(cube3, 1) is None
+
+    def test_is_core_network(self):
+        assert is_core_network(core_network(7, 2), 2)
+        assert not is_core_network(hypercube(3), 1)
+        # Too few nodes overall: n must exceed 3f.
+        assert not is_core_network(complete_graph(6), 2)
+
+    def test_core_detection_on_supergraph(self):
+        graph = core_network(7, 2)
+        graph.add_bidirectional_edge(5, 6)  # extra edge between outsiders
+        assert is_core_network(graph, 2)
+
+
+class TestCheckFeasibility:
+    def test_screen_rejections_carry_method(self):
+        result = check_feasibility(complete_graph(3), 1)
+        assert not result.satisfied
+        assert result.method == "screen:n>3f"
+
+        result = check_feasibility(star_graph(5), 1)
+        assert not result.satisfied
+        assert result.method == "screen:in-degree"
+
+    def test_structural_shortcuts_used(self):
+        assert check_feasibility(complete_graph(7), 2).method == "structural:complete"
+        assert (
+            check_feasibility(core_network(10, 3), 3).method
+            == "structural:core-network"
+        )
+
+    def test_exhaustive_fallback_with_witness(self, chord_7_2):
+        result = check_feasibility(chord_7_2, 2)
+        assert not result.satisfied
+        assert result.method == "exhaustive"
+        assert result.witness is not None
+        assert verify_witness(chord_7_2, 2, result.witness)
+
+    def test_exhaustive_positive(self, chord_5_1):
+        result = check_feasibility(chord_5_1, 1, use_structural_shortcuts=False)
+        assert result.satisfied
+        assert result.method == "exhaustive"
+        assert bool(result) is True
+
+    def test_shortcuts_can_be_disabled(self):
+        result = check_feasibility(complete_graph(7), 2, use_structural_shortcuts=False)
+        assert result.satisfied
+        assert result.method == "exhaustive"

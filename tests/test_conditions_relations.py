@@ -1,0 +1,163 @@
+"""Unit tests for the ⇒ relation, in(A ⇒ B) and propagation (Definitions 1–3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions import (
+    influenced_set,
+    influenced_set_f,
+    propagates,
+    propagates_f,
+    propagation_dichotomy,
+    propagation_length_bound,
+    reaches,
+    reaches_f,
+)
+from repro.exceptions import InvalidParameterError, InvalidPartitionError
+from repro.graphs import Digraph, complete_graph, core_network, hypercube
+
+
+class TestReaches:
+    def test_simple_threshold(self):
+        # Node 3 has two in-neighbours inside {0, 1}; A ⇒ B at threshold 2
+        # but not at threshold 3.
+        graph = Digraph(edges=[(0, 3), (1, 3), (2, 3)])
+        assert reaches(graph, {0, 1}, {3}, threshold=2)
+        assert not reaches(graph, {0, 1}, {3}, threshold=3)
+
+    def test_f_wrapper_uses_f_plus_1(self):
+        graph = Digraph(edges=[(0, 3), (1, 3)])
+        assert reaches_f(graph, {0, 1}, {3}, f=1)
+        assert not reaches_f(graph, {0, 1}, {3}, f=2)
+
+    def test_empty_sets_never_reach(self):
+        graph = complete_graph(4)
+        assert not reaches(graph, set(), {0}, threshold=1)
+        assert not reaches(graph, {0}, set(), threshold=1)
+
+    def test_source_smaller_than_threshold_short_circuits(self):
+        graph = complete_graph(5)
+        assert not reaches(graph, {0}, {1, 2}, threshold=2)
+
+    def test_overlapping_sets_rejected(self):
+        graph = complete_graph(4)
+        with pytest.raises(InvalidPartitionError):
+            reaches(graph, {0, 1}, {1, 2}, threshold=1)
+
+    def test_unknown_nodes_rejected(self):
+        graph = complete_graph(3)
+        with pytest.raises(InvalidPartitionError):
+            reaches(graph, {0, 99}, {1}, threshold=1)
+
+    def test_invalid_threshold(self):
+        graph = complete_graph(3)
+        with pytest.raises(InvalidParameterError):
+            reaches(graph, {0}, {1}, threshold=0)
+
+    def test_direction_matters(self):
+        graph = Digraph(edges=[(0, 2), (1, 2)])
+        assert reaches(graph, {0, 1}, {2}, threshold=2)
+        assert not reaches(graph, {2}, {0, 1}, threshold=1)
+
+    def test_complete_graph_reaches_both_ways(self):
+        graph = complete_graph(7)
+        left = {0, 1, 2}
+        right = {3, 4, 5, 6}
+        assert reaches_f(graph, left, right, f=2)
+        assert reaches_f(graph, right, left, f=2)
+
+
+class TestInfluencedSet:
+    def test_matches_definition(self):
+        graph = Digraph(edges=[(0, 3), (1, 3), (0, 4), (2, 4), (1, 5)])
+        result = influenced_set(graph, {0, 1, 2}, {3, 4, 5}, threshold=2)
+        assert result == frozenset({3, 4})
+
+    def test_empty_when_not_reaching(self):
+        graph = Digraph(edges=[(0, 3)])
+        graph.add_nodes([1, 2])
+        assert influenced_set(graph, {0, 1}, {2, 3}, threshold=2) == frozenset()
+
+    def test_f_wrapper(self):
+        graph = complete_graph(5)
+        assert influenced_set_f(graph, {0, 1, 2}, {3, 4}, f=2) == frozenset({3, 4})
+
+
+class TestPropagation:
+    def test_core_clique_propagates_to_everyone(self):
+        # In a core network the 2f+1 clique K propagates to the rest in one step.
+        f = 2
+        graph = core_network(9, f)
+        clique = frozenset(range(2 * f + 1))
+        rest = graph.nodes - clique
+        result = propagates_f(graph, clique, rest, f)
+        assert result.propagates
+        assert result.steps == 1
+        assert result.b_sets[-1] == frozenset()
+
+    def test_hypercube_halves_do_not_propagate_for_f1(self):
+        graph = hypercube(3)
+        low = frozenset({0, 1, 2, 3})
+        high = frozenset({4, 5, 6, 7})
+        assert not propagates_f(graph, low, high, f=1).propagates
+        assert not propagates_f(graph, high, low, f=1).propagates
+
+    def test_hypercube_halves_propagate_for_f0(self):
+        graph = hypercube(3)
+        low = frozenset({0, 1, 2, 3})
+        high = frozenset({4, 5, 6, 7})
+        result = propagates_f(graph, low, high, f=0)
+        assert result.propagates
+        assert result.steps == 1
+
+    def test_multi_step_propagation_on_directed_chain_of_pairs(self):
+        # A needs two steps: first absorb {2}, then {3}.
+        graph = Digraph(
+            edges=[(0, 2), (1, 2), (2, 3), (0, 3)]
+        )
+        result = propagates(graph, {0, 1}, {2, 3}, threshold=2)
+        assert result.propagates
+        assert result.steps == 2
+        assert result.a_sets[1] == frozenset({0, 1, 2})
+
+    def test_failed_propagation_returns_stalled_prefix(self):
+        graph = Digraph(edges=[(0, 2), (1, 2), (3, 4)])
+        graph.add_nodes([0, 1, 2, 3, 4])
+        result = propagates(graph, {0, 1}, {2, 3, 4}, threshold=2)
+        assert not result.propagates
+        # Node 2 was absorbed before the expansion stalled at {3, 4}.
+        assert result.a_sets[-1] == frozenset({0, 1, 2})
+        assert result.b_sets[-1] == frozenset({3, 4})
+
+    def test_empty_sets_rejected(self):
+        graph = complete_graph(3)
+        with pytest.raises(InvalidPartitionError):
+            propagates(graph, set(), {0}, threshold=1)
+
+    def test_length_bound_respected_on_random_feasible_graph(self):
+        # l <= n - f - 1 (Definition 3 discussion).
+        f = 2
+        graph = complete_graph(8)
+        for size in range(3, 6):
+            source = frozenset(range(size))
+            target = graph.nodes - source
+            result = propagates_f(graph, source, target, f)
+            assert result.propagates
+            assert result.steps <= propagation_length_bound(8, f)
+
+    def test_dichotomy_on_feasible_partition(self):
+        # Lemma 2: on a graph satisfying Theorem 1, at least one direction
+        # propagates for every partition A, B, F.
+        graph = core_network(7, 2)
+        set_a = frozenset({0, 3, 5})
+        set_b = graph.nodes - set_a - frozenset({6})
+        forward, backward = propagation_dichotomy(graph, set_a, set_b, threshold=3)
+        assert forward.propagates or backward.propagates
+
+    def test_propagation_length_bound_validation(self):
+        with pytest.raises(InvalidParameterError):
+            propagation_length_bound(0, 1)
+        with pytest.raises(InvalidParameterError):
+            propagation_length_bound(5, -1)
+        assert propagation_length_bound(8, 2) == 5

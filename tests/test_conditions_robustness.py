@@ -1,0 +1,109 @@
+"""Unit tests for r-robustness and (r, s)-robustness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions import (
+    is_r_robust,
+    is_r_s_robust,
+    r_reachable_subset,
+    robustness_degree,
+    satisfies_theorem1,
+)
+from repro.exceptions import GraphTooLargeError, InvalidParameterError
+from repro.graphs import (
+    Digraph,
+    complete_graph,
+    core_network,
+    directed_ring,
+    hypercube,
+    undirected_ring,
+)
+
+
+class TestRReachableSubset:
+    def test_definition(self):
+        graph = Digraph(edges=[(0, 2), (1, 2), (0, 3)])
+        graph.add_nodes([0, 1, 2, 3])
+        subset = frozenset({2, 3})
+        assert r_reachable_subset(graph, subset, 2) == frozenset({2})
+        assert r_reachable_subset(graph, subset, 1) == frozenset({2, 3})
+
+    def test_invalid_r(self):
+        with pytest.raises(InvalidParameterError):
+            r_reachable_subset(complete_graph(3), frozenset({0}), 0)
+
+
+class TestRRobustness:
+    def test_complete_graph_is_ceil_n_over_2_robust(self):
+        # K_n is ⌈n/2⌉-robust and no more.
+        graph = complete_graph(6)
+        assert is_r_robust(graph, 3)
+        assert not is_r_robust(graph, 4)
+
+    def test_ring_is_exactly_1_robust(self):
+        graph = undirected_ring(6)
+        assert is_r_robust(graph, 1)
+        assert not is_r_robust(graph, 2)
+
+    def test_hypercube_d3_is_not_2_robust(self):
+        # The dimension cut shows the 3-cube is 1-robust but not 2-robust.
+        graph = hypercube(3)
+        assert is_r_robust(graph, 1)
+        assert not is_r_robust(graph, 2)
+
+    def test_directed_ring_1_robust(self):
+        assert is_r_robust(directed_ring(5), 1)
+
+    def test_disconnected_not_1_robust(self):
+        graph = Digraph(edges=[(0, 1), (1, 0), (2, 3), (3, 2)])
+        assert not is_r_robust(graph, 1)
+
+    def test_tiny_graph_trivially_robust(self):
+        assert is_r_robust(Digraph(nodes=[0]), 3)
+
+    def test_cap_enforced(self):
+        with pytest.raises(GraphTooLargeError):
+            is_r_robust(complete_graph(20), 2)
+
+    def test_robustness_degree(self):
+        assert robustness_degree(complete_graph(6)) == 3
+        assert robustness_degree(undirected_ring(6)) == 1
+        disconnected = Digraph(edges=[(0, 1), (1, 0), (2, 3), (3, 2)])
+        assert robustness_degree(disconnected) == 0
+
+
+class TestRSRobustness:
+    def test_r_robust_iff_r_1_robust(self):
+        # (r, 1)-robustness is equivalent to r-robustness.
+        for graph in [complete_graph(5), undirected_ring(5), hypercube(3)]:
+            for r in (1, 2):
+                assert is_r_s_robust(graph, r, 1) == is_r_robust(graph, r)
+
+    def test_complete_graph_f_plus_1_robustness(self):
+        # K_7 is (3, 3)-robust (needed for f = 2), but K_6 is not (4, 4)-robust
+        # and K_4 is not (3, 3)-robust (splitting into two equal halves leaves
+        # no node with enough in-neighbours outside its own half).
+        assert is_r_s_robust(complete_graph(7), 3, 3)
+        assert not is_r_s_robust(complete_graph(6), 4, 4)
+        assert not is_r_s_robust(complete_graph(4), 3, 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            is_r_s_robust(complete_graph(4), 0, 1)
+        with pytest.raises(InvalidParameterError):
+            is_r_s_robust(complete_graph(4), 1, 0)
+
+    def test_agreement_with_theorem1_on_paper_families(self):
+        # On the paper's undirected/complete families the (f+1, f+1)-robustness
+        # verdict matches the Theorem-1 verdict (they coincide for these cases).
+        cases = [
+            (complete_graph(4), 1),
+            (complete_graph(7), 2),
+            (core_network(7, 2), 2),
+            (hypercube(3), 1),
+            (undirected_ring(6), 1),
+        ]
+        for graph, f in cases:
+            assert is_r_s_robust(graph, f + 1, f + 1) == satisfies_theorem1(graph, f)

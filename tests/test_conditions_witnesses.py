@@ -1,0 +1,120 @@
+"""Unit tests for canonical and heuristic witness search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions import (
+    chord_n7_f2_witness,
+    find_violating_partition,
+    greedy_witness_search,
+    hypercube_dimension_cut_witness,
+    random_witness_search,
+    satisfies_theorem1,
+    verify_witness,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs import (
+    butterfly_barbell,
+    chord_network,
+    complete_graph,
+    core_network,
+    hypercube,
+    undirected_ring,
+)
+
+
+class TestCanonicalWitnesses:
+    def test_chord_witness_matches_paper(self):
+        witness = chord_n7_f2_witness()
+        assert witness.faulty == frozenset({5, 6})
+        assert witness.left == frozenset({0, 2})
+        assert witness.right == frozenset({1, 3, 4})
+        assert witness.center == frozenset()
+        assert verify_witness(chord_network(7, 2), 2, witness)
+
+    def test_chord_witness_invalid_on_other_graphs(self):
+        assert not verify_witness(complete_graph(7), 2, chord_n7_f2_witness())
+
+    def test_hypercube_witness_default_is_figure3_split(self):
+        witness = hypercube_dimension_cut_witness(3)
+        assert witness.left == frozenset({0, 1, 2, 3})
+        assert witness.right == frozenset({4, 5, 6, 7})
+        assert verify_witness(hypercube(3), 1, witness)
+
+    @pytest.mark.parametrize("dimension", [2, 3, 4])
+    @pytest.mark.parametrize("cut_bit", [0, 1])
+    def test_every_dimension_cut_is_a_witness(self, dimension, cut_bit):
+        witness = hypercube_dimension_cut_witness(dimension, cut_bit=cut_bit)
+        assert verify_witness(hypercube(dimension), 1, witness)
+
+    def test_hypercube_witness_rejects_bad_dimension(self):
+        with pytest.raises(InvalidParameterError):
+            hypercube_dimension_cut_witness(0)
+
+
+class TestGreedySearch:
+    def test_finds_witness_on_infeasible_graphs(self):
+        for graph, f in [
+            (hypercube(3), 1),
+            (undirected_ring(6), 1),
+            (butterfly_barbell(4, 1), 1),
+        ]:
+            witness = greedy_witness_search(graph, f)
+            assert witness is not None
+            assert verify_witness(graph, f, witness)
+
+    def test_never_reports_witness_on_feasible_graphs(self):
+        # Soundness: any witness returned must be genuine, so on a feasible
+        # graph the search must return None.
+        for graph, f in [
+            (complete_graph(4), 1),
+            (complete_graph(7), 2),
+            (core_network(7, 2), 2),
+            (chord_network(5, 1), 1),
+        ]:
+            assert satisfies_theorem1(graph, f)
+            assert greedy_witness_search(graph, f) is None
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            greedy_witness_search(complete_graph(4), -1)
+
+
+class TestRandomSearch:
+    def test_finds_witness_on_easy_infeasible_graphs(self):
+        for graph, f in [(hypercube(3), 1), (undirected_ring(6), 1)]:
+            witness = random_witness_search(graph, f, attempts=500, rng=1)
+            assert witness is not None
+            assert verify_witness(graph, f, witness)
+
+    def test_sound_on_feasible_graphs(self):
+        for graph, f in [(complete_graph(7), 2), (core_network(7, 2), 2)]:
+            assert random_witness_search(graph, f, attempts=300, rng=2) is None
+
+    def test_agrees_with_exact_checker_verdict(self):
+        graph = chord_network(7, 2)
+        exact = find_violating_partition(graph, 2)
+        randomized = random_witness_search(graph, 2, attempts=2000, rng=3)
+        assert exact is not None
+        # The random search may need many attempts but must never fabricate a
+        # witness; if it finds one, it must verify.
+        if randomized is not None:
+            assert verify_witness(graph, 2, randomized)
+
+    def test_single_node_graph_returns_none(self):
+        from repro.graphs import Digraph
+
+        assert random_witness_search(Digraph(nodes=[0]), 1, attempts=10, rng=0) is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            random_witness_search(complete_graph(4), -1)
+        with pytest.raises(InvalidParameterError):
+            random_witness_search(complete_graph(4), 1, attempts=0)
+
+    def test_determinism_with_seed(self):
+        graph = hypercube(3)
+        first = random_witness_search(graph, 1, attempts=100, rng=11)
+        second = random_witness_search(graph, 1, attempts=100, rng=11)
+        assert first == second

@@ -1,0 +1,165 @@
+"""Unit tests for the core Digraph type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    SelfLoopError,
+)
+from repro.graphs import Digraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Digraph()
+        assert graph.number_of_nodes == 0
+        assert graph.number_of_edges == 0
+        assert graph.nodes == frozenset()
+        assert graph.edges == frozenset()
+
+    def test_nodes_and_edges_from_constructor(self):
+        graph = Digraph(nodes=[0, 1, 2], edges=[(0, 1), (1, 2)])
+        assert graph.nodes == frozenset({0, 1, 2})
+        assert graph.edges == frozenset({(0, 1), (1, 2)})
+
+    def test_edges_create_missing_endpoints(self):
+        graph = Digraph(edges=[(5, 9)])
+        assert graph.nodes == frozenset({5, 9})
+
+    def test_duplicate_edges_are_collapsed(self):
+        graph = Digraph(edges=[(0, 1), (0, 1), (0, 1)])
+        assert graph.number_of_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SelfLoopError):
+            Digraph(edges=[(3, 3)])
+
+    def test_adding_existing_node_is_noop(self):
+        graph = Digraph(nodes=[0], edges=[(0, 1)])
+        graph.add_node(0)
+        assert graph.out_degree(0) == 1
+
+    def test_string_and_int_nodes_coexist(self):
+        graph = Digraph(edges=[("a", 1), (1, "b")])
+        assert graph.has_edge("a", 1)
+        assert graph.in_neighbors("b") == frozenset({1})
+
+
+class TestNeighborQueries:
+    def test_in_and_out_neighbors(self):
+        graph = Digraph(edges=[(0, 1), (2, 1), (1, 3)])
+        assert graph.in_neighbors(1) == frozenset({0, 2})
+        assert graph.out_neighbors(1) == frozenset({3})
+        assert graph.in_degree(1) == 2
+        assert graph.out_degree(1) == 1
+
+    def test_direction_matters(self):
+        graph = Digraph(edges=[(0, 1)])
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_unknown_node_raises(self):
+        graph = Digraph(nodes=[0])
+        with pytest.raises(NodeNotFoundError):
+            graph.in_neighbors(99)
+        with pytest.raises(NodeNotFoundError):
+            graph.out_degree(99)
+
+    def test_in_neighbors_within(self):
+        graph = Digraph(edges=[(0, 5), (1, 5), (2, 5), (3, 5)])
+        assert graph.in_neighbors_within(5, frozenset({0, 2, 9})) == {0, 2}
+        assert graph.in_degree_within(5, frozenset({0, 2, 9})) == 2
+        assert graph.in_degree_within(5, frozenset()) == 0
+
+    def test_in_degree_within_large_group_path(self):
+        # Exercise the branch iterating the predecessor set (preds smaller).
+        graph = Digraph(edges=[(0, 1)])
+        graph.add_nodes(range(2, 50))
+        group = frozenset(range(0, 50, 1)) - {1}
+        assert graph.in_degree_within(1, group) == 1
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = Digraph(edges=[(0, 1), (1, 0)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+
+    def test_remove_missing_edge_raises(self):
+        graph = Digraph(nodes=[0, 1])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(0, 1)
+
+    def test_remove_node_cleans_incident_edges(self):
+        graph = Digraph(edges=[(0, 1), (1, 2), (2, 0)])
+        graph.remove_node(1)
+        assert graph.nodes == frozenset({0, 2})
+        assert graph.edges == frozenset({(2, 0)})
+
+    def test_bidirectional_edge_helper(self):
+        graph = Digraph()
+        graph.add_bidirectional_edge(0, 1)
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_copy_is_independent(self):
+        graph = Digraph(edges=[(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 0)
+        assert not graph.has_edge(1, 0)
+        assert clone.has_edge(1, 0)
+
+
+class TestDerivedGraphs:
+    def test_subgraph(self):
+        graph = Digraph(edges=[(0, 1), (1, 2), (2, 0), (0, 3)])
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.nodes == frozenset({0, 1, 2})
+        assert sub.edges == frozenset({(0, 1), (1, 2), (2, 0)})
+
+    def test_subgraph_unknown_node_raises(self):
+        graph = Digraph(nodes=[0])
+        with pytest.raises(NodeNotFoundError):
+            graph.subgraph([0, 7])
+
+    def test_reverse(self):
+        graph = Digraph(edges=[(0, 1), (1, 2)])
+        rev = graph.reverse()
+        assert rev.edges == frozenset({(1, 0), (2, 1)})
+        assert rev.nodes == graph.nodes
+
+    def test_is_symmetric(self):
+        asym = Digraph(edges=[(0, 1), (1, 2), (2, 0)])
+        sym = Digraph(edges=[(0, 1), (1, 0)])
+        assert not asym.is_symmetric()
+        assert sym.is_symmetric()
+
+    def test_to_undirected_edges(self):
+        graph = Digraph(edges=[(0, 1), (1, 0), (1, 2)])
+        assert graph.to_undirected_edges() == frozenset(
+            {frozenset({0, 1}), frozenset({1, 2})}
+        )
+
+
+class TestDunders:
+    def test_len_iter_contains(self):
+        graph = Digraph(nodes=[0, 1, 2])
+        assert len(graph) == 3
+        assert set(iter(graph)) == {0, 1, 2}
+        assert 1 in graph
+        assert 9 not in graph
+
+    def test_equality(self):
+        first = Digraph(edges=[(0, 1)])
+        second = Digraph(edges=[(0, 1)])
+        third = Digraph(edges=[(1, 0)])
+        assert first == second
+        assert first != third
+        assert first != "not a graph"
+
+    def test_repr(self):
+        graph = Digraph(edges=[(0, 1)])
+        assert "n=2" in repr(graph) and "m=1" in repr(graph)

@@ -1,0 +1,224 @@
+"""Unit tests for the deterministic graph-family generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs import (
+    butterfly_barbell,
+    chord_network,
+    complete_bipartite_graph,
+    complete_graph,
+    core_network,
+    directed_path,
+    directed_ring,
+    hypercube,
+    hypercube_dimension_cut,
+    is_complete,
+    ring_lattice,
+    star_graph,
+    undirected_ring,
+    union,
+    wheel_graph,
+    with_extra_edges,
+    without_edges,
+)
+
+
+class TestCompleteGraphs:
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_complete_graph_edge_count(self, n):
+        graph = complete_graph(n)
+        assert graph.number_of_nodes == n
+        assert graph.number_of_edges == n * (n - 1)
+        assert is_complete(graph)
+
+    def test_complete_graph_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            complete_graph(0)
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite_graph(2, 3)
+        assert graph.number_of_nodes == 5
+        # 2 * 3 cross pairs, both directions.
+        assert graph.number_of_edges == 12
+        assert not graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2) and graph.has_edge(2, 0)
+
+
+class TestCoreNetwork:
+    def test_structure_matches_definition_4(self):
+        f = 2
+        n = 9
+        graph = core_network(n, f)
+        clique = range(2 * f + 1)
+        # (i) the 2f+1 clique is bidirectionally complete.
+        for i in clique:
+            for j in clique:
+                if i != j:
+                    assert graph.has_edge(i, j) and graph.has_edge(j, i)
+        # (ii) every outside node links to all clique nodes, both ways.
+        for outside in range(2 * f + 1, n):
+            for member in clique:
+                assert graph.has_edge(outside, member)
+                assert graph.has_edge(member, outside)
+        # outside nodes have no edges among themselves.
+        for a in range(2 * f + 1, n):
+            for b in range(2 * f + 1, n):
+                if a != b:
+                    assert not graph.has_edge(a, b)
+
+    def test_core_network_is_symmetric(self):
+        assert core_network(7, 2).is_symmetric()
+
+    def test_core_network_minimum_size(self):
+        # n = 3f + 1 is the smallest allowed.
+        graph = core_network(4, 1)
+        assert graph.number_of_nodes == 4
+
+    @pytest.mark.parametrize("n,f", [(6, 2), (3, 1), (9, 3)])
+    def test_core_network_rejects_n_le_3f(self, n, f):
+        with pytest.raises(InvalidParameterError):
+            core_network(n, f)
+
+    def test_core_network_f0_is_star_like(self):
+        # f = 0: the "clique" is a single hub node connected to everyone.
+        graph = core_network(4, 0)
+        assert graph.in_degree(0) == 3
+        for leaf in (1, 2, 3):
+            assert graph.has_edge(leaf, 0) and graph.has_edge(0, leaf)
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_size_and_regular_degree(self, d):
+        graph = hypercube(d)
+        assert graph.number_of_nodes == 2**d
+        for node in graph.nodes:
+            assert graph.in_degree(node) == d
+            assert graph.out_degree(node) == d
+
+    def test_adjacency_is_single_bit_flip(self):
+        graph = hypercube(3)
+        for source, target in graph.edges:
+            assert bin(source ^ target).count("1") == 1
+
+    def test_dimension_cut_matches_figure_3(self):
+        low, high = hypercube_dimension_cut(3, cut_bit=2)
+        assert low == frozenset({0, 1, 2, 3})
+        assert high == frozenset({4, 5, 6, 7})
+
+    def test_dimension_cut_each_node_one_cross_neighbor(self):
+        graph = hypercube(3)
+        low, high = hypercube_dimension_cut(3, cut_bit=1)
+        for node in low:
+            assert graph.in_degree_within(node, high) == 1
+        for node in high:
+            assert graph.in_degree_within(node, low) == 1
+
+    def test_dimension_cut_invalid_bit(self):
+        with pytest.raises(InvalidParameterError):
+            hypercube_dimension_cut(3, cut_bit=3)
+
+
+class TestChordNetwork:
+    def test_definition_5_edges(self):
+        graph = chord_network(7, 2)
+        for node in range(7):
+            expected = {(node + k) % 7 for k in range(1, 6)}
+            assert graph.out_neighbors(node) == frozenset(expected)
+
+    def test_chord_n4_f1_is_complete(self):
+        assert is_complete(chord_network(4, 1))
+
+    def test_chord_in_degree_equals_reach(self):
+        graph = chord_network(9, 2)
+        for node in graph.nodes:
+            assert graph.in_degree(node) == 5
+
+    def test_chord_is_directed_not_symmetric(self):
+        graph = chord_network(9, 1)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+        assert not graph.is_symmetric()
+
+    def test_chord_reach_capped_at_n_minus_1(self):
+        # 2f + 1 >= n collapses to the complete digraph without self-loops.
+        graph = chord_network(5, 3)
+        assert is_complete(graph)
+
+
+class TestStandardFamilies:
+    def test_directed_ring(self):
+        graph = directed_ring(5)
+        assert graph.number_of_edges == 5
+        assert graph.has_edge(4, 0)
+
+    def test_directed_ring_too_small(self):
+        with pytest.raises(InvalidParameterError):
+            directed_ring(1)
+
+    def test_undirected_ring(self):
+        graph = undirected_ring(4)
+        assert graph.number_of_edges == 8
+        assert graph.is_symmetric()
+
+    def test_directed_path(self):
+        graph = directed_path(4)
+        assert graph.number_of_edges == 3
+        assert graph.in_degree(0) == 0
+
+    def test_star(self):
+        graph = star_graph(5)
+        assert graph.out_degree(0) == 4
+        assert graph.in_degree(0) == 4
+        assert graph.in_degree(3) == 1
+
+    def test_wheel(self):
+        graph = wheel_graph(5)
+        assert graph.in_degree(0) == 4
+        for node in range(1, 5):
+            assert graph.in_degree(node) == 3
+
+    def test_ring_lattice(self):
+        graph = ring_lattice(8, 2)
+        for node in graph.nodes:
+            assert graph.in_degree(node) == 4
+        assert graph.is_symmetric()
+
+    def test_ring_lattice_rejects_too_dense(self):
+        with pytest.raises(InvalidParameterError):
+            ring_lattice(6, 3)
+
+    def test_barbell(self):
+        graph = butterfly_barbell(4, 2)
+        assert graph.number_of_nodes == 8
+        # clique edges both ways
+        assert graph.has_edge(0, 3) and graph.has_edge(3, 0)
+        # bridges 0<->4 and 1<->5
+        assert graph.has_edge(0, 4) and graph.has_edge(5, 1)
+        assert not graph.has_edge(2, 6)
+
+    def test_barbell_bridge_too_wide(self):
+        with pytest.raises(InvalidParameterError):
+            butterfly_barbell(3, 4)
+
+
+class TestCompositionHelpers:
+    def test_union(self):
+        first = complete_graph(3)
+        second = directed_ring(5)
+        combined = union(first, second)
+        assert combined.number_of_nodes == 5
+        assert combined.has_edge(0, 2)  # from complete graph
+        assert combined.has_edge(4, 0)  # from ring
+
+    def test_with_and_without_edges(self):
+        graph = directed_ring(4)
+        augmented = with_extra_edges(graph, [(0, 2)])
+        assert augmented.has_edge(0, 2)
+        assert not graph.has_edge(0, 2)
+        reduced = without_edges(augmented, [(0, 2), (0, 1)])
+        assert not reduced.has_edge(0, 2)
+        assert not reduced.has_edge(0, 1)

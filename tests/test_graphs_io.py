@@ -1,0 +1,113 @@
+"""Unit tests for graph serialisation and networkx interop."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs import (
+    Digraph,
+    chord_network,
+    complete_graph,
+    from_adjacency_dict,
+    from_edge_list,
+    from_json,
+    from_networkx,
+    load_edge_list,
+    save_edge_list,
+    to_adjacency_dict,
+    to_edge_list,
+    to_json,
+    to_networkx,
+)
+
+
+class TestNetworkxInterop:
+    def test_round_trip_digraph(self):
+        graph = chord_network(7, 2)
+        assert from_networkx(to_networkx(graph)) == graph
+
+    def test_undirected_networkx_becomes_symmetric(self):
+        nx_graph = nx.cycle_graph(4)
+        graph = from_networkx(nx_graph)
+        assert graph.is_symmetric()
+        assert graph.number_of_edges == 8
+
+    def test_self_loop_rejected(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge(1, 1)
+        with pytest.raises(InvalidParameterError):
+            from_networkx(nx_graph)
+
+    def test_to_networkx_preserves_counts(self):
+        graph = complete_graph(5)
+        nx_graph = to_networkx(graph)
+        assert nx_graph.number_of_nodes() == 5
+        assert nx_graph.number_of_edges() == 20
+
+
+class TestPlainRepresentations:
+    def test_edge_list_round_trip(self):
+        graph = chord_network(6, 1)
+        assert from_edge_list(to_edge_list(graph)) == graph
+
+    def test_edge_list_is_sorted_and_deterministic(self):
+        graph = Digraph(edges=[(2, 1), (0, 1), (1, 2)])
+        assert to_edge_list(graph) == sorted(graph.edges, key=repr)
+
+    def test_isolated_nodes_preserved_via_nodes_argument(self):
+        graph = from_edge_list([(0, 1)], nodes=[5])
+        assert 5 in graph.nodes
+
+    def test_adjacency_dict_round_trip(self):
+        graph = complete_graph(4)
+        assert from_adjacency_dict(to_adjacency_dict(graph)) == graph
+
+    def test_adjacency_dict_includes_sinks(self):
+        graph = Digraph(edges=[(0, 1)])
+        adjacency = to_adjacency_dict(graph)
+        assert adjacency[1] == []
+
+
+class TestJson:
+    def test_json_round_trip(self):
+        graph = chord_network(5, 1)
+        assert from_json(to_json(graph)) == graph
+
+    def test_json_preserves_isolated_nodes(self):
+        graph = Digraph(nodes=[0, 1, 2], edges=[(0, 1)])
+        assert from_json(to_json(graph)).nodes == graph.nodes
+
+    def test_malformed_json_payload(self):
+        with pytest.raises(InvalidParameterError):
+            from_json('{"nodes": [1, 2]}')
+
+    def test_malformed_edge_entry(self):
+        with pytest.raises(InvalidParameterError):
+            from_json('{"nodes": [1, 2], "edges": [[1, 2, 3]]}')
+
+
+class TestEdgeListFiles:
+    def test_save_and_load(self, tmp_path):
+        graph = chord_network(6, 1)
+        path = tmp_path / "graph.edges"
+        save_edge_list(graph, path)
+        assert load_edge_list(path) == graph
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        graph = load_edge_list(path)
+        assert graph.edges == frozenset({(0, 1), (1, 2)})
+
+    def test_load_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1 2\n")
+        with pytest.raises(InvalidParameterError):
+            load_edge_list(path)
+
+    def test_save_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        save_edge_list(Digraph(), path)
+        assert load_edge_list(path) == Digraph()

@@ -1,0 +1,133 @@
+"""Unit tests for structural graph properties."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs import (
+    Digraph,
+    complete_graph,
+    core_network,
+    degree_summary,
+    diameter,
+    directed_path,
+    directed_ring,
+    hypercube,
+    is_complete,
+    is_strongly_connected,
+    minimum_in_degree,
+    minimum_out_degree,
+    reachable_from,
+    shortest_path_length,
+    star_graph,
+    strongly_connected_components,
+    to_networkx,
+    undirected_edge_count,
+    undirected_ring,
+    vertex_connectivity,
+)
+
+
+class TestDegrees:
+    def test_minimum_degrees_on_star(self):
+        graph = star_graph(5)
+        assert minimum_in_degree(graph) == 1
+        assert minimum_out_degree(graph) == 1
+
+    def test_minimum_degrees_empty(self):
+        assert minimum_in_degree(Digraph()) == 0
+        assert minimum_out_degree(Digraph()) == 0
+
+    def test_degree_summary(self):
+        graph = directed_path(3)  # 0 -> 1 -> 2
+        summary = degree_summary(graph)
+        assert summary["min_in"] == 0
+        assert summary["max_in"] == 1
+        assert summary["mean_out"] == pytest.approx(2 / 3)
+
+    def test_degree_summary_empty(self):
+        assert degree_summary(Digraph())["mean_in"] == 0.0
+
+    def test_undirected_edge_count(self):
+        assert undirected_edge_count(complete_graph(5)) == 10
+        assert undirected_edge_count(directed_ring(4)) == 4
+
+
+class TestReachability:
+    def test_reachable_from_path(self):
+        graph = directed_path(4)
+        assert reachable_from(graph, 0) == frozenset({0, 1, 2, 3})
+        assert reachable_from(graph, 3) == frozenset({3})
+
+    def test_reachable_unknown_node(self):
+        with pytest.raises(NodeNotFoundError):
+            reachable_from(directed_path(3), 99)
+
+    def test_strong_connectivity(self):
+        assert is_strongly_connected(directed_ring(5))
+        assert not is_strongly_connected(directed_path(5))
+        assert is_strongly_connected(Digraph(nodes=[0]))
+
+    def test_strongly_connected_components(self):
+        graph = Digraph(edges=[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        components = strongly_connected_components(graph)
+        assert frozenset({0, 1}) in components
+        assert frozenset({2, 3}) in components
+        assert len(components) == 2
+
+    def test_scc_matches_networkx_on_random_graph(self):
+        from repro.graphs import erdos_renyi_digraph
+
+        graph = erdos_renyi_digraph(12, 0.15, rng=13)
+        ours = set(strongly_connected_components(graph))
+        theirs = {
+            frozenset(component)
+            for component in nx.strongly_connected_components(to_networkx(graph))
+        }
+        assert ours == theirs
+
+    def test_shortest_path_length(self):
+        graph = directed_ring(6)
+        assert shortest_path_length(graph, 0, 3) == 3
+        assert shortest_path_length(graph, 3, 0) == 3
+        assert shortest_path_length(graph, 2, 2) == 0
+
+    def test_shortest_path_unreachable(self):
+        graph = directed_path(3)
+        assert shortest_path_length(graph, 2, 0) is None
+
+    def test_diameter(self):
+        assert diameter(directed_ring(5)) == 4
+        assert diameter(complete_graph(4)) == 1
+        assert diameter(directed_path(3)) is None
+
+
+class TestConnectivity:
+    def test_complete_graph_connectivity(self):
+        assert vertex_connectivity(complete_graph(5)) == 4
+
+    def test_hypercube_connectivity_equals_dimension(self):
+        # Section 6.2: the d-cube has connectivity d.
+        assert vertex_connectivity(hypercube(3)) == 3
+        assert vertex_connectivity(hypercube(2)) == 2
+
+    def test_ring_connectivity(self):
+        assert vertex_connectivity(undirected_ring(6)) == 2
+
+    def test_star_connectivity(self):
+        assert vertex_connectivity(star_graph(5)) == 1
+
+    def test_disconnected_graph(self):
+        graph = Digraph(nodes=[0, 1, 2, 3], edges=[(0, 1), (1, 0)])
+        assert vertex_connectivity(graph) == 0
+
+    def test_matches_networkx_on_core_network(self):
+        graph = core_network(7, 2)
+        expected = nx.node_connectivity(to_networkx(graph))
+        assert vertex_connectivity(graph) == expected
+
+    def test_is_complete(self):
+        assert is_complete(complete_graph(3))
+        assert not is_complete(directed_ring(3))

@@ -1,0 +1,109 @@
+"""Unit tests for the random graph generators (determinism and structure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs import (
+    erdos_renyi_digraph,
+    erdos_renyi_symmetric,
+    is_complete,
+    k_in_regular_digraph,
+    perturb_with_edge_removals,
+    random_core_like_network,
+    random_spanning_strongly_connected,
+    is_strongly_connected,
+)
+from repro.conditions import check_feasibility
+
+
+class TestErdosRenyi:
+    def test_p_zero_has_no_edges(self):
+        graph = erdos_renyi_digraph(10, 0.0, rng=1)
+        assert graph.number_of_edges == 0
+        assert graph.number_of_nodes == 10
+
+    def test_p_one_is_complete(self):
+        graph = erdos_renyi_digraph(6, 1.0, rng=1)
+        assert is_complete(graph)
+
+    def test_seed_determinism(self):
+        first = erdos_renyi_digraph(12, 0.3, rng=42)
+        second = erdos_renyi_digraph(12, 0.3, rng=42)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = erdos_renyi_digraph(12, 0.3, rng=1)
+        second = erdos_renyi_digraph(12, 0.3, rng=2)
+        assert first != second
+
+    def test_invalid_probability(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_digraph(5, 1.5)
+
+    def test_symmetric_variant_is_symmetric(self):
+        graph = erdos_renyi_symmetric(10, 0.4, rng=3)
+        assert graph.is_symmetric()
+
+    def test_accepts_generator_instance(self):
+        rng = np.random.default_rng(7)
+        graph = erdos_renyi_digraph(8, 0.5, rng=rng)
+        assert graph.number_of_nodes == 8
+
+
+class TestKInRegular:
+    @pytest.mark.parametrize("k", [0, 1, 3, 7])
+    def test_exact_in_degree(self, k):
+        graph = k_in_regular_digraph(8, k, rng=5)
+        for node in graph.nodes:
+            assert graph.in_degree(node) == k
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            k_in_regular_digraph(5, 5)
+
+    def test_no_self_loops(self):
+        graph = k_in_regular_digraph(6, 3, rng=0)
+        for source, target in graph.edges:
+            assert source != target
+
+
+class TestCoreLikeAndStronglyConnected:
+    def test_core_like_network_remains_feasible(self):
+        # Extra edges never break the condition (monotone under addition).
+        graph = random_core_like_network(8, 2, extra_edge_probability=0.5, rng=9)
+        assert check_feasibility(graph, 2).satisfied
+
+    def test_spanning_strongly_connected(self):
+        graph = random_spanning_strongly_connected(9, extra_edges=4, rng=11)
+        assert is_strongly_connected(graph)
+        assert graph.number_of_edges >= 9
+
+    def test_spanning_extra_edges_capped(self):
+        graph = random_spanning_strongly_connected(4, extra_edges=1000, rng=2)
+        # At most n(n-1) edges can exist.
+        assert graph.number_of_edges <= 12
+
+
+class TestPerturbation:
+    def test_removals_reduce_edge_count(self):
+        base = erdos_renyi_digraph(10, 0.8, rng=4)
+        removed = perturb_with_edge_removals(base, 5, rng=4)
+        assert removed.number_of_edges == base.number_of_edges - 5
+        assert base.number_of_edges == len(base.edges)  # base untouched
+
+    def test_removals_beyond_edge_count(self):
+        base = erdos_renyi_digraph(5, 0.3, rng=4)
+        removed = perturb_with_edge_removals(base, 10_000, rng=4)
+        assert removed.number_of_edges == 0
+
+    def test_zero_removals_identity(self):
+        base = erdos_renyi_digraph(5, 0.5, rng=4)
+        assert perturb_with_edge_removals(base, 0, rng=1) == base
+
+    def test_negative_removals_rejected(self):
+        base = erdos_renyi_digraph(5, 0.5, rng=4)
+        with pytest.raises(InvalidParameterError):
+            perturb_with_edge_removals(base, -1)

@@ -1,0 +1,216 @@
+"""Integration tests asserting the paper's specific claims end to end.
+
+Each test corresponds to a claim in the paper (theorem, corollary or
+Section-6/7 case study) and exercises the library the way a reader checking
+the paper would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    TrimmedMeanRule,
+    check_async_feasibility,
+    check_feasibility,
+    chord_network,
+    complete_graph,
+    core_network,
+    find_violating_partition,
+    hypercube,
+    run_consensus,
+    satisfies_theorem1,
+    verify_witness,
+)
+from repro.adversary import SplitBrainStrategy
+from repro.conditions import (
+    chord_n7_f2_witness,
+    hypercube_dimension_cut_witness,
+    passes_count_screen,
+    passes_in_degree_screen,
+)
+from repro.experiments import demonstrate_necessity
+from repro.graphs import vertex_connectivity, without_edges
+from repro.simulation import run_synchronous, split_inputs_from_witness
+
+
+class TestTheorem1AndSufficiency:
+    """Theorem 1 (necessity) + Theorems 2-3 (sufficiency of Algorithm 1)."""
+
+    @pytest.mark.parametrize(
+        "graph_factory,f",
+        [
+            (lambda: complete_graph(4), 1),
+            (lambda: complete_graph(7), 2),
+            (lambda: core_network(7, 2), 2),
+            (lambda: core_network(9, 2), 2),
+            (lambda: chord_network(5, 1), 1),
+        ],
+    )
+    def test_condition_implies_convergence_and_validity(self, graph_factory, f):
+        graph = graph_factory()
+        assert check_feasibility(graph, f).satisfied
+        outcome = run_consensus(graph, f=f, seed=13, max_rounds=600, tolerance=1e-7)
+        assert outcome.converged
+        assert outcome.validity_ok
+
+    @pytest.mark.parametrize(
+        "graph_factory,f",
+        [
+            (lambda: hypercube(3), 1),
+            (lambda: chord_network(7, 2), 2),
+            (lambda: complete_graph(6), 2),
+        ],
+    )
+    def test_violation_implies_split_brain_stalls_algorithm1(self, graph_factory, f):
+        graph = graph_factory()
+        witness = find_violating_partition(graph, f)
+        assert witness is not None
+        demo = demonstrate_necessity(graph, f, witness=witness, rounds=40)
+        assert demo.stalled
+        assert demo.left_stuck and demo.right_stuck
+        # Theorem 2's validity argument is unconditional: even though the
+        # graph is infeasible, the interval never expands.
+        assert demo.outcome.validity_ok
+        assert not demo.outcome.converged
+
+
+class TestCorollary2:
+    """n must exceed 3f."""
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_complete_graph_threshold(self, f):
+        assert not satisfies_theorem1(complete_graph(3 * f), f)
+        assert satisfies_theorem1(complete_graph(3 * f + 1), f)
+
+    def test_screen_matches_condition_on_complete_graphs(self):
+        for f in (1, 2):
+            for n in range(2, 3 * f + 3):
+                graph = complete_graph(n)
+                assert passes_count_screen(n, f) == satisfies_theorem1(graph, f)
+
+
+class TestCorollary3:
+    """Every node needs at least 2f + 1 incoming links (f > 0)."""
+
+    def test_removing_incoming_edges_breaks_condition(self):
+        f = 1
+        graph = core_network(5, f)
+        victim = 4
+        incoming = sorted(graph.in_neighbors(victim))
+        # Dropping down to in-degree 2f = 2 must break the condition.
+        damaged = without_edges(graph, [(incoming[0], victim)])
+        assert damaged.in_degree(victim) == 2 * f
+        assert not passes_in_degree_screen(damaged, f)
+        assert not satisfies_theorem1(damaged, f)
+
+    def test_feasible_graphs_always_pass_the_screen(self):
+        for graph, f in [
+            (complete_graph(4), 1),
+            (core_network(7, 2), 2),
+            (chord_network(5, 1), 1),
+        ]:
+            assert satisfies_theorem1(graph, f)
+            assert passes_in_degree_screen(graph, f)
+
+
+class TestSection61CoreNetwork:
+    def test_core_networks_satisfy_condition(self):
+        for n, f in [(4, 1), (7, 2), (10, 3), (8, 2)]:
+            assert check_feasibility(core_network(n, f), f).satisfied
+
+    def test_core_network_much_sparser_than_complete_graph(self):
+        from repro.graphs import undirected_edge_count
+
+        f = 3
+        n = 3 * f + 1
+        core_edges = undirected_edge_count(core_network(n, f))
+        complete_edges = undirected_edge_count(complete_graph(n))
+        assert core_edges < complete_edges
+
+
+class TestSection62Hypercube:
+    def test_connectivity_d_but_condition_fails(self):
+        graph = hypercube(3)
+        assert vertex_connectivity(graph) == 3  # = 2f + 1 for f = 1
+        assert not satisfies_theorem1(graph, 1)
+
+    def test_figure3_partition_is_the_witness(self):
+        witness = hypercube_dimension_cut_witness(3)
+        assert witness.left == frozenset({0, 1, 2, 3})
+        assert witness.right == frozenset({4, 5, 6, 7})
+        assert verify_witness(hypercube(3), 1, witness)
+
+    @pytest.mark.parametrize("dimension", [2, 3, 4])
+    def test_all_dimensions_fail_for_any_f_geq_1(self, dimension):
+        witness = hypercube_dimension_cut_witness(dimension)
+        assert verify_witness(hypercube(dimension), 1, witness)
+
+
+class TestSection63Chord:
+    def test_n4_f1_complete_and_feasible(self):
+        from repro.graphs import is_complete
+
+        graph = chord_network(4, 1)
+        assert is_complete(graph)
+        assert satisfies_theorem1(graph, 1)
+
+    def test_n7_f2_fails_with_paper_witness(self):
+        graph = chord_network(7, 2)
+        witness = chord_n7_f2_witness()
+        # The paper's reasoning, checked literally:
+        #  L ⇏ R because |L| = 2 < f + 1 = 3,
+        #  R ⇏ L because |N-_0 ∩ R| = |{3,4}| and |N-_2 ∩ R| = |{1,4}| are < 3.
+        assert graph.in_neighbors_within(0, witness.right) == {3, 4}
+        assert graph.in_neighbors_within(2, witness.right) == {1, 4}
+        assert verify_witness(graph, 2, witness)
+        assert not satisfies_theorem1(graph, 2)
+
+    def test_n5_f1_satisfies_and_converges(self):
+        graph = chord_network(5, 1)
+        assert satisfies_theorem1(graph, 1)
+        outcome = run_consensus(graph, f=1, seed=2, max_rounds=500, tolerance=1e-7)
+        assert outcome.converged and outcome.validity_ok
+
+
+class TestSection7Asynchronous:
+    def test_complete_graph_async_needs_n_gt_5f(self):
+        assert check_async_feasibility(complete_graph(6), 1).satisfied
+        assert not check_async_feasibility(complete_graph(5), 1).satisfied
+
+    def test_async_condition_implies_sync_condition(self):
+        # The asynchronous condition (threshold 2f+1) is strictly stronger.
+        from repro.conditions import satisfies_async_condition
+
+        for graph, f in [
+            (complete_graph(6), 1),
+            (complete_graph(11), 2),
+            (complete_graph(5), 1),
+            (hypercube(3), 1),
+            (core_network(7, 2), 2),
+        ]:
+            if satisfies_async_condition(graph, f):
+                assert satisfies_theorem1(graph, f)
+
+
+class TestNecessityProofMechanics:
+    def test_split_brain_keeps_sides_pinned_every_round(self):
+        graph = chord_network(7, 2)
+        witness = chord_n7_f2_witness()
+        adversary = SplitBrainStrategy(witness, 0.0, 1.0)
+        inputs = split_inputs_from_witness(witness, 0.0, 1.0)
+        outcome = run_synchronous(
+            graph,
+            TrimmedMeanRule(2),
+            inputs,
+            faulty=witness.faulty,
+            adversary=adversary,
+            max_rounds=25,
+            tolerance=1e-9,
+        )
+        # The proof's induction: at every iteration L stays at m and R at M.
+        for record in outcome.history:
+            for node in witness.left:
+                assert record.values[node] == pytest.approx(0.0)
+            for node in witness.right:
+                assert record.values[node] == pytest.approx(1.0)

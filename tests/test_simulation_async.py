@@ -1,0 +1,170 @@
+"""Tests for the partially asynchronous engine (Section 7 model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import ExtremePushStrategy, StaticValueStrategy
+from repro.algorithms import TrimmedMeanRule
+from repro.exceptions import (
+    FaultBudgetExceededError,
+    InvalidParameterError,
+)
+from repro.graphs import complete_graph, core_network
+from repro.simulation import (
+    PartiallyAsynchronousEngine,
+    SimulationConfig,
+    linear_ramp_inputs,
+    run_partially_asynchronous,
+    run_synchronous,
+    uniform_random_inputs,
+)
+
+
+class TestConstruction:
+    def test_invalid_delay(self):
+        with pytest.raises(InvalidParameterError):
+            PartiallyAsynchronousEngine(
+                complete_graph(4), TrimmedMeanRule(1), max_delay=-1
+            )
+
+    def test_invalid_update_probability(self):
+        with pytest.raises(InvalidParameterError):
+            PartiallyAsynchronousEngine(
+                complete_graph(4), TrimmedMeanRule(1), update_probability=0.0
+            )
+        with pytest.raises(InvalidParameterError):
+            PartiallyAsynchronousEngine(
+                complete_graph(4), TrimmedMeanRule(1), update_probability=1.5
+            )
+
+    def test_fault_budget_enforced(self):
+        with pytest.raises(FaultBudgetExceededError):
+            PartiallyAsynchronousEngine(
+                complete_graph(7), TrimmedMeanRule(1), faulty={0, 1}
+            )
+
+    def test_unknown_faulty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PartiallyAsynchronousEngine(
+                complete_graph(4), TrimmedMeanRule(1), faulty={42}
+            )
+
+    def test_properties(self):
+        engine = PartiallyAsynchronousEngine(
+            complete_graph(4), TrimmedMeanRule(1), faulty={3}, max_delay=2
+        )
+        assert engine.max_delay == 2
+        assert engine.faulty == frozenset({3})
+
+
+class TestZeroDelayMatchesSynchronous:
+    def test_trajectories_identical_with_zero_delay(self):
+        graph = complete_graph(5)
+        inputs = linear_ramp_inputs(graph.nodes)
+        rule = TrimmedMeanRule(1)
+        sync = run_synchronous(graph, rule, inputs, max_rounds=20, tolerance=0.0,
+                               stop_on_convergence=False)
+        asynchronous = run_partially_asynchronous(
+            graph, rule, inputs, max_delay=0, max_rounds=20, tolerance=0.0, rng=0
+        )
+        for sync_record, async_record in zip(sync.history, asynchronous.history):
+            for node in graph.nodes:
+                assert sync_record.values[node] == pytest.approx(
+                    async_record.values[node]
+                )
+
+
+class TestConvergenceUnderDelay:
+    @pytest.mark.parametrize("delay", [1, 2, 4])
+    def test_fault_free_convergence(self, delay):
+        graph = complete_graph(6)
+        outcome = run_partially_asynchronous(
+            graph,
+            TrimmedMeanRule(1),
+            uniform_random_inputs(graph.nodes, rng=1),
+            max_delay=delay,
+            max_rounds=1000,
+            tolerance=1e-6,
+            rng=delay,
+        )
+        assert outcome.converged
+        assert outcome.validity_ok
+
+    def test_convergence_under_attack_and_delay(self):
+        graph = complete_graph(7)
+        outcome = run_partially_asynchronous(
+            graph,
+            TrimmedMeanRule(2),
+            uniform_random_inputs(graph.nodes, rng=2),
+            faulty=frozenset({0, 1}),
+            adversary=ExtremePushStrategy(delta=5.0),
+            max_delay=2,
+            max_rounds=1500,
+            tolerance=1e-5,
+            rng=7,
+        )
+        assert outcome.converged
+        assert outcome.validity_ok
+
+    def test_hull_validity_under_static_attack(self):
+        graph = core_network(7, 2)
+        inputs = uniform_random_inputs(graph.nodes, rng=3)
+        outcome = run_partially_asynchronous(
+            graph,
+            TrimmedMeanRule(2),
+            inputs,
+            faulty=frozenset({5, 6}),
+            adversary=StaticValueStrategy(500.0),
+            max_delay=3,
+            max_rounds=800,
+            tolerance=1e-5,
+            rng=5,
+        )
+        assert outcome.validity_ok
+        hull_low = min(v for node, v in inputs.items() if node not in {5, 6})
+        hull_high = max(v for node, v in inputs.items() if node not in {5, 6})
+        assert all(
+            hull_low - 1e-9 <= value <= hull_high + 1e-9
+            for value in outcome.final_values.values()
+        )
+
+    def test_sporadic_activation_still_converges(self):
+        graph = complete_graph(6)
+        outcome = run_partially_asynchronous(
+            graph,
+            TrimmedMeanRule(1),
+            uniform_random_inputs(graph.nodes, rng=4),
+            max_delay=1,
+            update_probability=0.5,
+            max_rounds=2000,
+            tolerance=1e-5,
+            rng=9,
+        )
+        assert outcome.converged
+
+    def test_missing_inputs_rejected(self):
+        engine = PartiallyAsynchronousEngine(complete_graph(3), TrimmedMeanRule(0))
+        with pytest.raises(InvalidParameterError):
+            engine.run({0: 1.0})
+
+    def test_determinism_with_seed(self):
+        graph = complete_graph(6)
+        inputs = uniform_random_inputs(graph.nodes, rng=6)
+        first = run_partially_asynchronous(
+            graph, TrimmedMeanRule(1), inputs, max_delay=2, max_rounds=50, rng=42,
+            tolerance=0.0,
+        )
+        second = run_partially_asynchronous(
+            graph, TrimmedMeanRule(1), inputs, max_delay=2, max_rounds=50, rng=42,
+            tolerance=0.0,
+        )
+        assert first.final_values == second.final_values
+
+    def test_config_object_accepted(self):
+        config = SimulationConfig(max_rounds=10, tolerance=1e-3)
+        engine = PartiallyAsynchronousEngine(
+            complete_graph(5), TrimmedMeanRule(1), config=config, max_delay=1, rng=1
+        )
+        outcome = engine.run(linear_ramp_inputs(range(5)))
+        assert outcome.rounds_executed <= 10

@@ -1,0 +1,151 @@
+"""Unit tests for metrics, validity tracking and input generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conditions import chord_n7_f2_witness
+from repro.exceptions import InvalidParameterError
+from repro.simulation import (
+    ValidityTracker,
+    bimodal_inputs,
+    empirical_contraction_ratios,
+    fault_free_extremes,
+    has_converged,
+    linear_ramp_inputs,
+    split_inputs_from_witness,
+    spread,
+    uniform_random_inputs,
+    within_hull,
+)
+
+
+class TestExtremesAndSpread:
+    def test_fault_free_extremes_ignore_faulty(self):
+        values = {0: 1.0, 1: 5.0, 2: -100.0}
+        assert fault_free_extremes(values, frozenset({2})) == (1.0, 5.0)
+
+    def test_all_faulty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            fault_free_extremes({0: 1.0}, frozenset({0}))
+
+    def test_spread(self):
+        assert spread({0: 1.0, 1: 4.0}, frozenset()) == pytest.approx(3.0)
+
+    def test_has_converged(self):
+        values = {0: 1.0, 1: 1.0 + 1e-8}
+        assert has_converged(values, frozenset(), tolerance=1e-6)
+        assert not has_converged(values, frozenset(), tolerance=1e-10)
+
+    def test_has_converged_negative_tolerance(self):
+        with pytest.raises(InvalidParameterError):
+            has_converged({0: 1.0}, frozenset(), tolerance=-1.0)
+
+    def test_within_hull(self):
+        assert within_hull([0.1, 0.9], 0.0, 1.0)
+        assert not within_hull([1.5], 0.0, 1.0)
+        assert within_hull([1.0 + 1e-12], 0.0, 1.0)
+
+
+class TestValidityTracker:
+    def test_monotone_shrinkage_is_valid(self):
+        tracker = ValidityTracker()
+        tracker.observe(0.0, 1.0)
+        tracker.observe(0.1, 0.9)
+        tracker.observe(0.2, 0.8)
+        assert tracker.ok
+        assert tracker.first_violation_round is None
+
+    def test_expansion_detected(self):
+        tracker = ValidityTracker()
+        tracker.observe(0.0, 1.0)
+        tracker.observe(0.0, 1.5)
+        assert not tracker.ok
+        assert tracker.first_violation_round == 1
+
+    def test_downward_expansion_detected(self):
+        tracker = ValidityTracker()
+        tracker.observe(0.0, 1.0)
+        tracker.observe(-0.5, 1.0)
+        assert not tracker.ok
+
+    def test_tiny_numerical_noise_tolerated(self):
+        tracker = ValidityTracker()
+        tracker.observe(0.0, 1.0)
+        tracker.observe(0.0, 1.0 + 1e-12)
+        assert tracker.ok
+
+    def test_inverted_interval_rejected(self):
+        tracker = ValidityTracker()
+        with pytest.raises(InvalidParameterError):
+            tracker.observe(1.0, 0.0)
+
+
+class TestContractionRatios:
+    def test_ratios(self):
+        ratios = empirical_contraction_ratios([4.0, 2.0, 1.0])
+        assert ratios == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_zero_previous_skipped(self):
+        assert empirical_contraction_ratios([0.0, 0.0]) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_contraction_ratios([1.0, -1.0])
+
+
+class TestInputGenerators:
+    def test_uniform_random_inputs_bounds_and_determinism(self):
+        nodes = range(10)
+        first = uniform_random_inputs(nodes, 2.0, 3.0, rng=4)
+        second = uniform_random_inputs(nodes, 2.0, 3.0, rng=4)
+        assert first == second
+        assert all(2.0 <= value <= 3.0 for value in first.values())
+        assert set(first) == set(range(10))
+
+    def test_uniform_invalid_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_random_inputs(range(3), 1.0, 0.0)
+
+    def test_linear_ramp(self):
+        inputs = linear_ramp_inputs(range(5), 0.0, 1.0)
+        assert inputs[0] == 0.0
+        assert inputs[4] == 1.0
+        assert inputs[2] == pytest.approx(0.5)
+
+    def test_linear_ramp_single_node(self):
+        assert linear_ramp_inputs([7], 0.0, 2.0) == {7: 1.0}
+
+    def test_linear_ramp_empty(self):
+        assert linear_ramp_inputs([]) == {}
+
+    def test_bimodal_inputs_two_clusters(self):
+        inputs = bimodal_inputs(range(10), 0.0, 1.0, high_fraction=0.3, rng=1)
+        values = set(inputs.values())
+        assert values == {0.0, 1.0}
+        assert sum(1 for value in inputs.values() if value == 1.0) == 3
+
+    def test_bimodal_always_has_both_clusters(self):
+        inputs = bimodal_inputs(range(5), 0.0, 1.0, high_fraction=0.0, rng=2)
+        assert 1.0 in inputs.values() and 0.0 in inputs.values()
+
+    def test_bimodal_invalid_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            bimodal_inputs(range(4), 0.0, 1.0, high_fraction=1.5)
+
+    def test_split_inputs_from_witness(self):
+        witness = chord_n7_f2_witness()
+        inputs = split_inputs_from_witness(witness, 0.0, 2.0)
+        assert all(inputs[node] == 0.0 for node in witness.left)
+        assert all(inputs[node] == 2.0 for node in witness.right)
+        assert all(inputs[node] == 1.0 for node in witness.faulty)
+
+    def test_split_inputs_invalid_range(self):
+        with pytest.raises(InvalidParameterError):
+            split_inputs_from_witness(chord_n7_f2_witness(), 1.0, 1.0)
+
+    def test_accepts_generator_instance(self):
+        rng = np.random.default_rng(0)
+        inputs = uniform_random_inputs(range(4), rng=rng)
+        assert len(inputs) == 4

@@ -1,0 +1,81 @@
+"""Unit tests for execution traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation import ExecutionTrace, spreads_from_records
+
+
+def build_trace() -> ExecutionTrace:
+    trace = ExecutionTrace(faulty=frozenset({2}))
+    trace.record_round(0, {0: 0.0, 1: 1.0, 2: 50.0})
+    trace.record_round(1, {0: 0.25, 1: 0.75, 2: 50.0})
+    trace.record_round(2, {0: 0.4, 1: 0.6, 2: 50.0})
+    return trace
+
+
+class TestExecutionTrace:
+    def test_record_ignores_faulty_for_extremes(self):
+        trace = build_trace()
+        assert trace[0].fault_free_max == 1.0
+        assert trace[0].fault_free_min == 0.0
+
+    def test_out_of_order_round_rejected(self):
+        trace = build_trace()
+        with pytest.raises(InvalidParameterError):
+            trace.record_round(5, {0: 0.0, 1: 0.0, 2: 0.0})
+
+    def test_len_iter_getitem(self):
+        trace = build_trace()
+        assert len(trace) == 3
+        assert trace.rounds == 2
+        assert [record.round_index for record in trace] == [0, 1, 2]
+
+    def test_spread_series(self):
+        trace = build_trace()
+        np.testing.assert_allclose(trace.spreads(), [1.0, 0.5, 0.2])
+        np.testing.assert_allclose(trace.maxima(), [1.0, 0.75, 0.6])
+        np.testing.assert_allclose(trace.minima(), [0.0, 0.25, 0.4])
+
+    def test_node_series(self):
+        trace = build_trace()
+        np.testing.assert_allclose(trace.node_series(0), [0.0, 0.25, 0.4])
+
+    def test_node_series_unknown_node(self):
+        trace = build_trace()
+        with pytest.raises(InvalidParameterError):
+            trace.node_series(99)
+
+    def test_fault_free_values(self):
+        trace = build_trace()
+        assert trace.fault_free_values(1) == {0: 0.25, 1: 0.75}
+
+    def test_as_records_snapshot(self):
+        trace = build_trace()
+        snapshot = trace.as_records()
+        assert len(snapshot) == 3
+        assert isinstance(snapshot, tuple)
+
+    def test_summary_rows_subsampling(self):
+        trace = build_trace()
+        rows = trace.summary_rows(every=2)
+        assert [row["round"] for row in rows] == [0.0, 2.0]
+        assert rows[-1]["spread"] == pytest.approx(0.2)
+
+    def test_summary_rows_invalid_every(self):
+        with pytest.raises(InvalidParameterError):
+            build_trace().summary_rows(every=0)
+
+    def test_spreads_from_records(self):
+        trace = build_trace()
+        np.testing.assert_allclose(
+            spreads_from_records(trace.as_records()), [1.0, 0.5, 0.2]
+        )
+
+    def test_empty_trace(self):
+        trace = ExecutionTrace()
+        assert trace.rounds == 0
+        assert trace.spreads().size == 0

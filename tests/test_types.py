@@ -1,0 +1,120 @@
+"""Unit tests for the shared value objects in repro.types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import (
+    ConsensusOutcome,
+    FeasibilityResult,
+    PartitionWitness,
+    PropagationResult,
+    ReceivedValue,
+    RoundRecord,
+    as_node_tuple,
+)
+
+
+class TestRoundRecord:
+    def test_spread(self):
+        record = RoundRecord(
+            round_index=3,
+            values={0: 1.0, 1: 4.0},
+            fault_free_max=4.0,
+            fault_free_min=1.0,
+        )
+        assert record.spread == pytest.approx(3.0)
+
+
+class TestConsensusOutcome:
+    def _outcome(self, initial: float, final: float) -> ConsensusOutcome:
+        return ConsensusOutcome(
+            converged=True,
+            rounds_executed=10,
+            final_spread=final,
+            initial_spread=initial,
+            validity_ok=True,
+            final_values={0: 0.5},
+        )
+
+    def test_contraction_ratio(self):
+        assert self._outcome(2.0, 0.5).contraction_ratio == pytest.approx(0.25)
+
+    def test_contraction_ratio_zero_initial(self):
+        assert self._outcome(0.0, 0.0).contraction_ratio == 0.0
+
+    def test_history_defaults_empty(self):
+        assert self._outcome(1.0, 0.1).history == tuple()
+
+
+class TestPartitionWitness:
+    def test_valid_witness(self):
+        witness = PartitionWitness(
+            faulty=frozenset({5}),
+            left=frozenset({0}),
+            center=frozenset({1}),
+            right=frozenset({2}),
+        )
+        assert witness.all_nodes == frozenset({0, 1, 2, 5})
+        description = witness.describe()
+        assert "F={5}" in description and "L={0}" in description
+
+    def test_overlapping_parts_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionWitness(
+                faulty=frozenset({0}),
+                left=frozenset({0, 1}),
+                center=frozenset(),
+                right=frozenset({2}),
+            )
+
+    def test_empty_left_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionWitness(
+                faulty=frozenset(),
+                left=frozenset(),
+                center=frozenset({1}),
+                right=frozenset({2}),
+            )
+
+    def test_empty_right_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionWitness(
+                faulty=frozenset(),
+                left=frozenset({1}),
+                center=frozenset({2}),
+                right=frozenset(),
+            )
+
+
+class TestFeasibilityResult:
+    def test_bool_conversion(self):
+        assert bool(FeasibilityResult(satisfied=True, f=1))
+        assert not bool(FeasibilityResult(satisfied=False, f=1))
+
+    def test_defaults(self):
+        result = FeasibilityResult(satisfied=True, f=2)
+        assert result.witness is None
+        assert result.method == "exhaustive"
+
+
+class TestPropagationResult:
+    def test_length_alias(self):
+        result = PropagationResult(
+            propagates=True,
+            steps=3,
+            a_sets=(frozenset({0}),),
+            b_sets=(frozenset({1}),),
+        )
+        assert result.length == 3
+
+
+class TestHelpers:
+    def test_received_value_is_frozen(self):
+        value = ReceivedValue(sender=3, value=1.5)
+        with pytest.raises(AttributeError):
+            value.value = 2.0  # type: ignore[misc]
+
+    def test_as_node_tuple_sorted_by_repr(self):
+        assert as_node_tuple(frozenset({3, 1, 2})) == (1, 2, 3)
+        assert as_node_tuple(["b", "a"]) == ("a", "b")
