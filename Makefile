@@ -1,0 +1,24 @@
+# Development entry points for the VaidyaTL12 reproduction.
+#
+#   make test        tier-1 test suite + docstring-coverage gate
+#   make bench       engine benchmark -> BENCH_engine.json
+#   make docs-check  docs exist, examples in them import, docstrings covered
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+	$(PYTHON) tools/check_docstrings.py
+
+bench:
+	$(PYTHON) benchmarks/bench_engine.py
+
+docs-check:
+	@test -f README.md || { echo "README.md missing"; exit 1; }
+	@test -f docs/architecture.md || { echo "docs/architecture.md missing"; exit 1; }
+	@test -f docs/performance.md || { echo "docs/performance.md missing"; exit 1; }
+	$(PYTHON) tools/check_docstrings.py
+	@echo "docs OK"

@@ -1,0 +1,213 @@
+"""Engine benchmark: scalar vs vectorized vs batched throughput.
+
+Times one fixed scenario — a core network under the extreme-pushing
+adversary — through three execution paths:
+
+* ``scalar``: :class:`repro.simulation.engine.SynchronousEngine`, stepped on
+  a sample of runs (the per-run-round cost is what matters; the sample keeps
+  the benchmark fast);
+* ``vectorized``: :class:`repro.simulation.vectorized.VectorizedEngine` with
+  a batch of one;
+* ``batch``: the same engine over the full ``(B, n)`` state matrix.
+
+The headline number is ``speedup_batch_vs_scalar``: the ratio of
+per-run-round throughput between the batched vectorized pass and the scalar
+engine on the same scenario.  Results land in ``BENCH_engine.json`` (see
+``docs/performance.md``); run via ``make bench`` or::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--n 200] [--batch 64]
+
+The script also cross-checks the two engines round-for-round on a small
+instance first, so a benchmark run can never report a speedup for an engine
+that drifted from the reference semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.adversary.selection import random_fault_set
+from repro.adversary.strategies import ExtremePushStrategy
+from repro.adversary.vectorized import BatchExtremePushStrategy
+from repro.algorithms.trimmed_mean import TrimmedMeanRule
+from repro.graphs.generators import core_network
+from repro.simulation.engine import SimulationConfig, SynchronousEngine
+from repro.simulation.inputs import uniform_random_inputs
+from repro.simulation.vectorized import (
+    VectorizedEngine,
+    cross_check_engines,
+    random_input_matrix,
+)
+
+
+def time_scalar_rounds(
+    engine: SynchronousEngine, inputs: dict, rounds: int
+) -> float:
+    """Step the scalar engine ``rounds`` times; return elapsed seconds."""
+    state = {node: float(value) for node, value in inputs.items()}
+    start = time.perf_counter()
+    for round_index in range(1, rounds + 1):
+        state = engine.step(state, round_index)
+    return time.perf_counter() - start
+
+
+def time_vectorized_rounds(
+    engine: VectorizedEngine, matrix, rounds: int
+) -> float:
+    """Step the vectorized engine ``rounds`` times; return elapsed seconds."""
+    state = matrix
+    engine.step_matrix(state, 1)  # warm-up: first call pays array setup
+    start = time.perf_counter()
+    for round_index in range(1, rounds + 1):
+        state = engine.step_matrix(state, round_index)
+    return time.perf_counter() - start
+
+
+def run_benchmark(
+    n: int = 200,
+    f: int = 3,
+    batch: int = 64,
+    rounds: int = 25,
+    scalar_runs: int = 4,
+    seed: int = 17,
+) -> dict:
+    """Benchmark the three engine paths on one core-network scenario.
+
+    ``scalar_runs`` bounds how many of the ``batch`` runs the scalar engine
+    is actually timed on — its per-run cost is independent of the batch, so
+    the sample is representative and keeps total wall time small.  Returns
+    the result dictionary that is also written to ``BENCH_engine.json``.
+    """
+    if batch < 1:
+        raise SystemExit(f"--batch must be >= 1, got {batch}")
+    if rounds < 1:
+        raise SystemExit(f"--rounds must be >= 1, got {rounds}")
+    if scalar_runs < 1:
+        raise SystemExit(f"--scalar-runs must be >= 1, got {scalar_runs}")
+    graph = core_network(n, f)
+    rule = TrimmedMeanRule(f)
+    faulty = random_fault_set(graph, f, rng=seed)
+    config = SimulationConfig(
+        max_rounds=rounds,
+        record_history=False,
+        stop_on_convergence=False,
+    )
+
+    # Guard: never benchmark an engine that diverged from the reference.
+    small = core_network(10, 2)
+    report = cross_check_engines(
+        graph=small,
+        rule=TrimmedMeanRule(2),
+        inputs=uniform_random_inputs(small.nodes, rng=seed),
+        faulty=random_fault_set(small, 2, rng=seed),
+        adversary=ExtremePushStrategy(delta=1.0),
+        rounds=30,
+    )
+    if not report.identical:
+        raise SystemExit(
+            "vectorized engine is not bit-exact with the scalar engine; "
+            "refusing to benchmark"
+        )
+
+    scalar_engine = SynchronousEngine(
+        graph, rule, faulty=faulty, adversary=ExtremePushStrategy(1.0), config=config
+    )
+    scalar_seconds = 0.0
+    timed_runs = min(scalar_runs, batch)
+    for run in range(timed_runs):
+        inputs = uniform_random_inputs(graph.nodes, rng=seed + run)
+        scalar_seconds += time_scalar_rounds(scalar_engine, inputs, rounds)
+    scalar_run_rounds_per_sec = (timed_runs * rounds) / scalar_seconds
+
+    vector_engine = VectorizedEngine(
+        graph,
+        rule,
+        faulty=faulty,
+        adversary=BatchExtremePushStrategy(1.0),
+        config=config,
+    )
+    single = random_input_matrix(vector_engine.nodes, 1, rng=seed)
+    single_seconds = time_vectorized_rounds(vector_engine, single, rounds)
+    single_run_rounds_per_sec = rounds / single_seconds
+
+    matrix = random_input_matrix(vector_engine.nodes, batch, rng=seed)
+    batch_seconds = time_vectorized_rounds(vector_engine, matrix, rounds)
+    batch_run_rounds_per_sec = (batch * rounds) / batch_seconds
+
+    return {
+        "scenario": {
+            "graph": f"core_network(n={n}, f={f})",
+            "n": n,
+            "f": f,
+            "batch": batch,
+            "rounds": rounds,
+            "adversary": "extreme-push(delta=1.0)",
+            "seed": seed,
+        },
+        "equivalence_checked": True,
+        "scalar": {
+            "runs_timed": timed_runs,
+            "seconds": scalar_seconds,
+            "run_rounds_per_sec": scalar_run_rounds_per_sec,
+        },
+        "vectorized_single": {
+            "seconds": single_seconds,
+            "run_rounds_per_sec": single_run_rounds_per_sec,
+            "speedup_vs_scalar": single_run_rounds_per_sec
+            / scalar_run_rounds_per_sec,
+        },
+        "batch": {
+            "seconds": batch_seconds,
+            "run_rounds_per_sec": batch_run_rounds_per_sec,
+        },
+        "speedup_batch_vs_scalar": batch_run_rounds_per_sec
+        / scalar_run_rounds_per_sec,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def main() -> None:
+    """CLI entry point: run the benchmark and write ``BENCH_engine.json``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=200, help="graph size")
+    parser.add_argument("--f", type=int, default=3, help="fault budget")
+    parser.add_argument("--batch", type=int, default=64, help="batch size B")
+    parser.add_argument("--rounds", type=int, default=25, help="rounds per run")
+    parser.add_argument(
+        "--scalar-runs",
+        type=int,
+        default=4,
+        help="how many runs to time on the scalar engine",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args()
+    result = run_benchmark(
+        n=args.n,
+        f=args.f,
+        batch=args.batch,
+        rounds=args.rounds,
+        scalar_runs=args.scalar_runs,
+    )
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(
+        f"\nbatch throughput is {result['speedup_batch_vs_scalar']:.1f}x the "
+        f"scalar engine on {result['scenario']['graph']} with "
+        f"B={result['scenario']['batch']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

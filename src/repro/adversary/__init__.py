@@ -16,8 +16,22 @@ from repro.adversary.strategies import (
     SplitBrainStrategy,
     StaticValueStrategy,
 )
+from repro.adversary.vectorized import (
+    BatchAdversaryContext,
+    BatchExtremePushStrategy,
+    BatchPassiveStrategy,
+    BatchStrategy,
+    ScalarStrategyAdapter,
+    as_batch_strategy,
+)
 
 __all__ = [
+    "BatchAdversaryContext",
+    "BatchExtremePushStrategy",
+    "BatchPassiveStrategy",
+    "BatchStrategy",
+    "ScalarStrategyAdapter",
+    "as_batch_strategy",
     "AdversaryContext",
     "ByzantineStrategy",
     "PassiveStrategy",

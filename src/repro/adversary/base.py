@@ -83,6 +83,13 @@ class ByzantineStrategy(ABC):
     #: Human-readable name used in reports and benchmark tables.
     name: str = "byzantine-strategy"
 
+    #: Whether one instance may safely serve many batched executions at once.
+    #: Strategies that accumulate per-execution state (e.g. a frozen initial
+    #: value) must set this to ``False`` so the vectorized engine's shared
+    #: adapter refuses to leak one execution's state into another; see
+    #: :class:`repro.adversary.vectorized.ScalarStrategyAdapter`.
+    batch_safe: bool = True
+
     @abstractmethod
     def outgoing_values(
         self, node: NodeId, context: AdversaryContext

@@ -50,6 +50,9 @@ class FrozenValueStrategy(ByzantineStrategy):
     """
 
     name = "frozen-value"
+    # The frozen values are per-execution state: sharing one instance across
+    # batch rows would freeze every row at the first row's inputs.
+    batch_safe = False
 
     def __init__(self) -> None:
         self._frozen: dict[NodeId, float] = {}
@@ -75,6 +78,10 @@ class RandomNoiseStrategy(ByzantineStrategy):
     """
 
     name = "random-noise"
+    # The generator is mutable shared state: rows of a batch sharing one
+    # instance would draw from one stream, making each row's noise depend on
+    # which other rows are present (per-row reproducibility would be lost).
+    batch_safe = False
 
     def __init__(
         self,
@@ -231,6 +238,7 @@ class BroadcastConsistentStrategy(ByzantineStrategy):
     def __init__(self, inner: ByzantineStrategy) -> None:
         self._inner = inner
         self.name = f"broadcast({inner.name})"
+        self.batch_safe = inner.batch_safe
 
     def outgoing_values(
         self, node: NodeId, context: AdversaryContext

@@ -1,0 +1,329 @@
+"""Batched Byzantine adversary interface for the vectorized engine.
+
+The scalar engines interrogate a :class:`~repro.adversary.base.ByzantineStrategy`
+one faulty node at a time through per-node Python dicts.  The vectorized
+engine (:mod:`repro.simulation.vectorized`) instead works on a ``(B, n)``
+state matrix covering ``B`` independent executions at once, so its adversary
+hook is batched as well: once per round the engine asks the strategy for the
+value on **every** faulty→fault-free channel of **every** batched execution
+in a single call returning a ``(B, E_f)`` array.
+
+Two bridges make the existing strategy zoo usable against the fast engine:
+
+* :class:`ScalarStrategyAdapter` wraps any scalar
+  :class:`~repro.adversary.base.ByzantineStrategy` (including the stateful and
+  randomized ones in :mod:`repro.adversary.strategies`) and replays it per
+  batch row.  With ``B = 1`` the adapter reproduces the scalar engine's calls
+  exactly — including call order and RNG consumption — which is what the
+  round-for-round equivalence mode relies on.
+* :class:`BatchExtremePushStrategy` is a natively vectorized re-implementation
+  of :class:`~repro.adversary.strategies.ExtremePushStrategy` whose arithmetic
+  is bit-for-bit identical to the scalar version while running whole batches
+  per round.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.adversary.base import AdversaryContext, ByzantineStrategy
+from repro.exceptions import InvalidParameterError, SimulationError
+from repro.graphs.digraph import Digraph
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class BatchAdversaryContext:
+    """Complete system knowledge handed to a batch strategy each round.
+
+    Mirrors :class:`~repro.adversary.base.AdversaryContext` but exposes the
+    state of all ``B`` executions as arrays instead of one execution as dicts.
+
+    Attributes
+    ----------
+    graph:
+        The communication graph (shared by every execution in the batch).
+    round_index:
+        The iteration ``t`` about to be executed.
+    state:
+        ``(B, n)`` array: ``state[b, c]`` is node ``nodes[c]``'s value
+        ``v[t − 1]`` in execution ``b``.  Treat it as read-only.
+    nodes:
+        Column order of ``state`` (nodes sorted by ``repr``).
+    faulty:
+        The Byzantine node set ``F``.
+    f:
+        The fault budget the fault-free nodes defend against.
+    faulty_columns:
+        Columns of ``state`` occupied by faulty nodes.
+    fault_free_columns:
+        Columns of ``state`` occupied by fault-free nodes.
+    edge_nodes:
+        The faulty→fault-free channels ``(sender, receiver)`` the strategy
+        must fill, in the order the returned value matrix is interpreted.
+    edge_source_columns / edge_target_columns:
+        The same channels as column indices into ``state``.
+    """
+
+    graph: Digraph
+    round_index: int
+    state: np.ndarray
+    nodes: tuple[NodeId, ...]
+    faulty: frozenset[NodeId]
+    f: int
+    faulty_columns: np.ndarray
+    fault_free_columns: np.ndarray
+    edge_nodes: tuple[tuple[NodeId, NodeId], ...]
+    edge_source_columns: np.ndarray
+    edge_target_columns: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of independent executions ``B`` in the batch."""
+        return int(self.state.shape[0])
+
+    @property
+    def fault_free_states(self) -> np.ndarray:
+        """``(B, n − |F|)`` view of the fault-free nodes' states."""
+        return self.state[:, self.fault_free_columns]
+
+    @property
+    def fault_free_max(self) -> np.ndarray:
+        """``U[t − 1]`` per execution: shape ``(B,)``."""
+        return self.fault_free_states.max(axis=1)
+
+    @property
+    def fault_free_min(self) -> np.ndarray:
+        """``µ[t − 1]`` per execution: shape ``(B,)``."""
+        return self.fault_free_states.min(axis=1)
+
+    def values_for_row(self, row: int) -> dict[NodeId, float]:
+        """Return execution ``row``'s state as a scalar-style value map."""
+        return {
+            node: float(self.state[row, column])
+            for column, node in enumerate(self.nodes)
+        }
+
+
+class BatchStrategy(ABC):
+    """Behaviour of the faulty nodes across a whole batch of executions.
+
+    One instance controls all faulty nodes in all ``B`` executions; the
+    engine calls :meth:`edge_values` once per round.
+    """
+
+    #: Human-readable name used in reports and benchmark tables.
+    name: str = "batch-strategy"
+
+    @abstractmethod
+    def edge_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        """Return a ``(B, E_f)`` array of channel values.
+
+        Column ``e`` holds, for every execution, the value the faulty sender
+        of ``context.edge_nodes[e]`` places on that channel this round.
+        Different channels out of the same faulty node may carry different
+        values — the point-to-point equivocation power of the paper's model.
+        """
+
+    def nominal_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        """Return a ``(B, |F|)`` array of the faulty nodes' nominal states.
+
+        Fault-free nodes never rely on these; they only label trace entries.
+        The default keeps each faulty node's previous recorded state, matching
+        :meth:`repro.adversary.base.ByzantineStrategy.nominal_value`.
+        """
+        return np.array(context.state[:, context.faulty_columns])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class BatchPassiveStrategy(BatchStrategy):
+    """Faulty nodes that follow the protocol: each channel carries the
+    sender's previous state, identically in every execution."""
+
+    name = "batch-passive"
+
+    def edge_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        return np.array(context.state[:, context.edge_source_columns])
+
+
+class BatchExtremePushStrategy(BatchStrategy):
+    """Vectorized :class:`~repro.adversary.strategies.ExtremePushStrategy`.
+
+    Per execution: channels into receivers whose state is at or above the
+    fault-free midpoint carry ``U[t−1] + delta``; the rest carry
+    ``µ[t−1] − delta``.  The arithmetic matches the scalar strategy
+    bit-for-bit, so a ``B = 1`` batch reproduces the scalar engine's
+    execution exactly.
+    """
+
+    name = "batch-extreme-push"
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta < 0:
+            raise InvalidParameterError(f"delta must be >= 0, got {delta}")
+        self._delta = float(delta)
+
+    @property
+    def delta(self) -> float:
+        """How far beyond the fault-free extremes the adversary pushes."""
+        return self._delta
+
+    def edge_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        upper = context.fault_free_max
+        lower = context.fault_free_min
+        midpoint = (upper + lower) / 2.0
+        high_value = upper + self._delta
+        low_value = lower - self._delta
+        receiver_state = context.state[:, context.edge_target_columns]
+        return np.where(
+            receiver_state >= midpoint[:, None],
+            high_value[:, None],
+            low_value[:, None],
+        )
+
+
+class ScalarStrategyAdapter(BatchStrategy):
+    """Drive any scalar :class:`ByzantineStrategy` against the batch engine.
+
+    Parameters
+    ----------
+    strategy:
+        A single strategy instance shared by every batch row.  Correct for
+        stateless strategies and for ``B = 1`` (the equivalence mode); a
+        strategy declaring ``batch_safe = False`` (e.g.
+        ``FrozenValueStrategy``, whose per-node state would leak across
+        rows) is rejected for ``B > 1``.
+    factory:
+        Alternatively, a zero-argument callable producing a fresh strategy
+        per batch row, which makes stateful strategies safe at any ``B``.
+        Exactly one of ``strategy`` / ``factory`` must be given.
+
+    Notes
+    -----
+    Per row the adapter builds a scalar
+    :class:`~repro.adversary.base.AdversaryContext` and interrogates the
+    strategy in the same order as
+    :meth:`repro.simulation.engine.SynchronousEngine.step` — all
+    ``outgoing_values`` calls (iterating the faulty frozenset) before any
+    ``nominal_value`` call — so RNG-backed strategies consume draws
+    identically and ``B = 1`` runs are bit-exact with the scalar engine.
+    """
+
+    def __init__(
+        self,
+        strategy: ByzantineStrategy | None = None,
+        factory: Callable[[], ByzantineStrategy] | None = None,
+    ) -> None:
+        if (strategy is None) == (factory is None):
+            raise InvalidParameterError(
+                "exactly one of 'strategy' and 'factory' must be provided"
+            )
+        self._shared = strategy
+        self._factory = factory
+        self._per_row: dict[int, ByzantineStrategy] = {}
+        inner_name = strategy.name if strategy is not None else "per-row"
+        self.name = f"scalar-adapter({inner_name})"
+
+    def _strategy_for_row(self, row: int) -> ByzantineStrategy:
+        if self._shared is not None:
+            return self._shared
+        if row not in self._per_row:
+            assert self._factory is not None
+            self._per_row[row] = self._factory()
+        return self._per_row[row]
+
+    def _check_batch_safety(self, batch: int) -> None:
+        """Refuse to leak one execution's strategy state into another.
+
+        A shared instance whose strategy declares ``batch_safe = False``
+        (e.g. ``FrozenValueStrategy``) would make rows 1..B−1 simulate
+        against row 0's state; demand the per-row ``factory`` mode instead.
+        """
+        if batch > 1 and self._shared is not None and not self._shared.batch_safe:
+            raise InvalidParameterError(
+                f"strategy {self._shared.name!r} keeps per-execution state and "
+                f"cannot be shared across a batch of {batch} executions; pass "
+                "ScalarStrategyAdapter(factory=...) to give each batch row its "
+                "own instance"
+            )
+
+    def _scalar_context(
+        self, context: BatchAdversaryContext, row: int
+    ) -> AdversaryContext:
+        return AdversaryContext(
+            graph=context.graph,
+            round_index=context.round_index,
+            values=context.values_for_row(row),
+            faulty=context.faulty,
+            f=context.f,
+        )
+
+    def edge_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        batch = context.batch_size
+        self._check_batch_safety(batch)
+        out = np.empty((batch, len(context.edge_nodes)), dtype=float)
+        # Channel columns grouped by sender so one outgoing_values call per
+        # faulty node fills all of that node's channels.
+        by_sender: dict[NodeId, list[int]] = {}
+        for index, (sender, _target) in enumerate(context.edge_nodes):
+            by_sender.setdefault(sender, []).append(index)
+        for row in range(batch):
+            scalar_context = self._scalar_context(context, row)
+            strategy = self._strategy_for_row(row)
+            # Iterate the frozenset directly to match the scalar engine's
+            # per-node call order (relevant for RNG-consuming strategies).
+            for sender in context.faulty:
+                outgoing = strategy.outgoing_values(sender, scalar_context)
+                missing = context.graph.out_neighbors(sender) - outgoing.keys()
+                if missing:
+                    raise SimulationError(
+                        f"adversary strategy {strategy.name!r} did not provide "
+                        f"values for edges {sorted(missing, key=repr)!r} out of "
+                        f"faulty node {sender!r}; the synchronous model has no "
+                        "omissions"
+                    )
+                for index in by_sender.get(sender, ()):
+                    _source, target = context.edge_nodes[index]
+                    out[row, index] = float(outgoing[target])
+        return out
+
+    def nominal_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        batch = context.batch_size
+        self._check_batch_safety(batch)
+        faulty_ordered = [context.nodes[c] for c in context.faulty_columns]
+        out = np.empty((batch, len(faulty_ordered)), dtype=float)
+        for row in range(batch):
+            scalar_context = self._scalar_context(context, row)
+            strategy = self._strategy_for_row(row)
+            for position, node in enumerate(faulty_ordered):
+                out[row, position] = float(
+                    strategy.nominal_value(node, scalar_context)
+                )
+        return out
+
+
+def as_batch_strategy(
+    adversary: BatchStrategy | ByzantineStrategy | None,
+) -> BatchStrategy:
+    """Coerce an adversary argument to a :class:`BatchStrategy`.
+
+    ``None`` becomes :class:`BatchPassiveStrategy` (faulty nodes follow the
+    protocol), scalar strategies are wrapped in a shared-instance
+    :class:`ScalarStrategyAdapter`, and batch strategies pass through.
+    """
+    if adversary is None:
+        return BatchPassiveStrategy()
+    if isinstance(adversary, BatchStrategy):
+        return adversary
+    if isinstance(adversary, ByzantineStrategy):
+        return ScalarStrategyAdapter(strategy=adversary)
+    raise InvalidParameterError(
+        f"expected a BatchStrategy, ByzantineStrategy or None, "
+        f"got {type(adversary).__name__}"
+    )

@@ -18,6 +18,7 @@ from repro.experiments.checker import (
 )
 from repro.experiments.convergence_rate import (
     convergence_rate_study,
+    convergence_rate_sweep,
     default_rate_cases,
 )
 from repro.experiments.corollaries import (
@@ -28,6 +29,7 @@ from repro.experiments.corollaries import (
 from repro.experiments.families import (
     chord_case_studies,
     chord_feasibility_sweep,
+    core_network_batch_sweep,
     core_network_minimality_comparison,
     core_network_study,
     hypercube_study,
@@ -62,12 +64,14 @@ __all__ = [
     "checker_test_battery",
     "exhaustive_checker_workload",
     "convergence_rate_study",
+    "convergence_rate_sweep",
     "default_rate_cases",
     "corollary2_sweep",
     "corollary3_edge_removal",
     "low_in_degree_always_fails",
     "chord_case_studies",
     "chord_feasibility_sweep",
+    "core_network_batch_sweep",
     "core_network_minimality_comparison",
     "core_network_study",
     "hypercube_study",

@@ -12,12 +12,20 @@ For each graph family the driver
 The paper's bound must never be violated (measured ≤ bound per window); the
 measured rate is typically far better than the bound, and the driver reports
 the gap so the benchmark can show the bound's conservatism quantitatively.
+
+Execution is vectorized: the per-case study runs on
+:func:`~repro.simulation.vectorized.run_vectorized` (bit-identical to the
+scalar engine), and :func:`convergence_rate_sweep` extends each case into a
+Monte-Carlo batch over many input draws via
+:class:`~repro.simulation.vectorized.BatchRunner`.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.adversary.selection import random_fault_set
-from repro.adversary.strategies import ExtremePushStrategy
+from repro.adversary.vectorized import BatchExtremePushStrategy
 from repro.algorithms.trimmed_mean import TrimmedMeanRule
 from repro.analysis.convergence import (
     alpha_for_rule,
@@ -29,9 +37,10 @@ from repro.analysis.convergence import (
 )
 from repro.graphs.digraph import Digraph
 from repro.graphs.generators import chord_network, complete_graph, core_network
-from repro.simulation.engine import run_synchronous
+from repro.simulation.engine import SimulationConfig
 from repro.simulation.inputs import bimodal_inputs
 from repro.simulation.trace import spreads_from_records
+from repro.simulation.vectorized import BatchRunner, run_vectorized
 from repro.types import NodeId
 
 
@@ -72,12 +81,12 @@ def convergence_rate_study(
         factor_bound = lemma5_contraction_factor(alpha, window_bound)
 
         inputs = bimodal_inputs(graph.nodes, 0.0, 1.0, rng=seed + index)
-        outcome = run_synchronous(
+        outcome = run_vectorized(
             graph=graph,
             rule=rule,
             inputs=inputs,
             faulty=faulty,
-            adversary=ExtremePushStrategy(delta=1.0) if faulty else None,
+            adversary=BatchExtremePushStrategy(delta=1.0) if faulty else None,
             max_rounds=rounds,
             tolerance=1e-10,
             record_history=True,
@@ -114,6 +123,76 @@ def convergence_rate_study(
                 "windows_checked": len(checks),
                 "all_windows_respect_bound": all(check.satisfied for check in checks),
                 "validity_ok": outcome.validity_ok,
+            }
+        )
+    return rows
+
+
+def convergence_rate_sweep(
+    cases: list[tuple[str, Digraph, int]] | None = None,
+    batch: int = 64,
+    rounds: int = 300,
+    tolerance: float = 1e-7,
+    seed: int = 11,
+) -> list[dict[str, object]]:
+    """Monte-Carlo extension of E7: ``batch`` random input draws per case.
+
+    Each case runs as one batched pass of the vectorized engine under the
+    extreme-pushing adversary; rows report the convergence fraction and the
+    distribution (mean / p50 / p90 / max) of rounds-to-tolerance across the
+    batch, plus how the mean compares to the analytical Lemma-5 round bound.
+    Deterministic for a fixed ``seed``.
+    """
+    chosen = cases if cases is not None else default_rate_cases()
+    rows: list[dict[str, object]] = []
+    for index, (label, graph, f) in enumerate(chosen):
+        rule = TrimmedMeanRule(f)
+        faulty: frozenset[NodeId] = (
+            random_fault_set(graph, f, rng=seed + index) if f > 0 else frozenset()
+        )
+        fault_free = graph.nodes - faulty
+        alpha = alpha_for_rule(graph, rule, fault_free=fault_free)
+        window_bound = worst_case_window_length(graph.number_of_nodes, f)
+        runner = BatchRunner(
+            graph=graph,
+            rule=rule,
+            faulty=faulty,
+            adversary=BatchExtremePushStrategy(delta=1.0) if faulty else None,
+            config=SimulationConfig(
+                max_rounds=rounds,
+                tolerance=tolerance,
+                record_history=False,
+            ),
+        )
+        outcome = runner.run_uniform(batch, rng=seed + index)
+        converged_rounds = outcome.rounds_executed[outcome.converged]
+        bound_rounds = rounds_to_reach(1.0, tolerance, alpha, window_bound)
+        rows.append(
+            {
+                "case": label,
+                "n": graph.number_of_nodes,
+                "f": f,
+                "batch": batch,
+                "alpha": alpha,
+                "fraction_converged": outcome.fraction_converged,
+                "all_validity_ok": outcome.all_valid,
+                "mean_rounds": outcome.mean_rounds_to_convergence(),
+                "p50_rounds": (
+                    float(np.percentile(converged_rounds, 50))
+                    if converged_rounds.size
+                    else float("nan")
+                ),
+                "p90_rounds": (
+                    float(np.percentile(converged_rounds, 90))
+                    if converged_rounds.size
+                    else float("nan")
+                ),
+                "max_rounds": (
+                    int(converged_rounds.max())
+                    if converged_rounds.size
+                    else float("nan")
+                ),
+                "bound_rounds": bound_rounds,
             }
         )
     return rows

@@ -9,12 +9,19 @@
 * E6 chord networks (Section 6.3): ``f = 1, n = 4`` holds (complete),
   ``f = 2, n = 7`` fails with the paper's witness, ``f = 1, n = 5`` holds; a
   parameter sweep maps the feasibility frontier of the family.
+
+Simulations run on the vectorized engine
+(:func:`~repro.simulation.vectorized.run_vectorized`, bit-identical to the
+scalar engine); :func:`core_network_batch_sweep` scales E4 into a Monte-Carlo
+study over many input draws per ``(n, f)`` via
+:class:`~repro.simulation.vectorized.BatchRunner`.
 """
 
 from __future__ import annotations
 
 from repro.adversary.selection import random_fault_set
-from repro.adversary.strategies import ExtremePushStrategy, RandomNoiseStrategy
+from repro.adversary.strategies import RandomNoiseStrategy
+from repro.adversary.vectorized import BatchExtremePushStrategy
 from repro.algorithms.trimmed_mean import TrimmedMeanRule
 from repro.conditions.necessary import (
     check_feasibility,
@@ -34,8 +41,9 @@ from repro.graphs.properties import (
     undirected_edge_count,
     vertex_connectivity,
 )
-from repro.simulation.engine import run_synchronous
+from repro.simulation.engine import SimulationConfig
 from repro.simulation.inputs import bimodal_inputs, uniform_random_inputs
+from repro.simulation.vectorized import BatchRunner, run_vectorized
 
 
 # ---------------------------------------------------------------------------
@@ -61,12 +69,12 @@ def core_network_study(
         feasibility = check_feasibility(graph, f)
         rule = TrimmedMeanRule(f)
         faulty = random_fault_set(graph, f, rng=seed + index)
-        outcome = run_synchronous(
+        outcome = run_vectorized(
             graph=graph,
             rule=rule,
             inputs=uniform_random_inputs(graph.nodes, rng=seed + index),
             faulty=faulty,
-            adversary=ExtremePushStrategy(delta=2.0),
+            adversary=BatchExtremePushStrategy(delta=2.0),
             max_rounds=rounds,
             tolerance=tolerance,
         )
@@ -81,6 +89,51 @@ def core_network_study(
                 "converged": outcome.converged,
                 "validity_ok": outcome.validity_ok,
                 "rounds": outcome.rounds_executed,
+            }
+        )
+    return rows
+
+
+def core_network_batch_sweep(
+    cases: list[tuple[int, int]] | None = None,
+    batch: int = 64,
+    rounds: int = 300,
+    tolerance: float = 1e-6,
+    seed: int = 7,
+) -> list[dict[str, object]]:
+    """Monte-Carlo extension of E4: ``batch`` random input draws per case.
+
+    Each ``(n, f)`` core network runs as one batched pass under the
+    extreme-pushing adversary with ``f`` random faulty nodes; rows report the
+    fraction of executions that converged, whether validity held in all of
+    them, and the mean rounds to convergence.  Deterministic for a fixed
+    ``seed``.
+    """
+    chosen = cases if cases is not None else [(4, 1), (7, 2), (10, 3), (13, 4)]
+    rows: list[dict[str, object]] = []
+    for index, (n, f) in enumerate(chosen):
+        graph = core_network(n, f)
+        faulty = random_fault_set(graph, f, rng=seed + index)
+        runner = BatchRunner(
+            graph=graph,
+            rule=TrimmedMeanRule(f),
+            faulty=faulty,
+            adversary=BatchExtremePushStrategy(delta=2.0),
+            config=SimulationConfig(
+                max_rounds=rounds,
+                tolerance=tolerance,
+                record_history=False,
+            ),
+        )
+        outcome = runner.run_uniform(batch, rng=seed + index)
+        rows.append(
+            {
+                "n": n,
+                "f": f,
+                "batch": batch,
+                "fraction_converged": outcome.fraction_converged,
+                "all_validity_ok": outcome.all_valid,
+                "mean_rounds": outcome.mean_rounds_to_convergence(),
             }
         )
     return rows
@@ -200,7 +253,7 @@ def chord_case_studies(rounds: int = 300, tolerance: float = 1e-6) -> list[dict[
     # f = 1, n = 5: satisfies the condition; Algorithm 1 converges under attack.
     graph_5 = chord_network(5, 1)
     feas_5 = check_feasibility(graph_5, 1)
-    outcome = run_synchronous(
+    outcome = run_vectorized(
         graph=graph_5,
         rule=TrimmedMeanRule(1),
         inputs=bimodal_inputs(graph_5.nodes, 0.0, 1.0, rng=3),

@@ -27,8 +27,24 @@ from repro.simulation.metrics import (
 )
 from repro.simulation.run import run_consensus
 from repro.simulation.trace import ExecutionTrace, spreads_from_records
+from repro.simulation.vectorized import (
+    BatchOutcome,
+    BatchRunner,
+    EquivalenceReport,
+    VectorizedEngine,
+    cross_check_engines,
+    random_input_matrix,
+    run_vectorized,
+)
 
 __all__ = [
+    "BatchOutcome",
+    "BatchRunner",
+    "EquivalenceReport",
+    "VectorizedEngine",
+    "cross_check_engines",
+    "random_input_matrix",
+    "run_vectorized",
     "PartiallyAsynchronousEngine",
     "run_partially_asynchronous",
     "SimulationConfig",

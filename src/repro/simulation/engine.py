@@ -112,11 +112,13 @@ class SynchronousEngine:
             raise InvalidParameterError(
                 f"faulty nodes {sorted(unknown, key=repr)!r} are not in the graph"
             )
-        if len(self._faulty) > rule.f:
-            raise FaultBudgetExceededError(len(self._faulty), rule.f)
         fault_free = graph.nodes - self._faulty
         if not fault_free:
+            # Checked before the fault budget: an all-faulty system is a
+            # malformed configuration regardless of how large ``f`` is.
             raise InvalidParameterError("at least one node must be fault-free")
+        if len(self._faulty) > rule.f:
+            raise FaultBudgetExceededError(len(self._faulty), rule.f)
         # The structural precondition only needs to hold at fault-free nodes:
         # faulty nodes never run the rule.
         rule.validate_graph(graph, nodes=sorted(fault_free, key=repr))

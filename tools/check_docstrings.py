@@ -1,0 +1,113 @@
+"""Docstring-coverage gate for ``src/repro``.
+
+Walks every module under ``src/repro`` with :mod:`ast` and counts public
+definitions (modules, classes, functions and methods whose names do not start
+with ``_``) that carry a docstring.  Fails (exit code 1) when coverage drops
+below the threshold, listing the offenders, so ``make test`` keeps the
+documentation suite honest without any third-party dependency.
+
+Usage::
+
+    python tools/check_docstrings.py [--threshold 95] [--root src/repro]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+
+def iter_public_definitions(tree: ast.Module, module_name: str):
+    """Yield ``(qualified_name, is_method, has_docstring)`` for the module and
+    its public classes, functions and methods."""
+    yield module_name, False, ast.get_docstring(tree) is not None
+
+    def walk(node: ast.AST, prefix: str, in_class: bool):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if child.name.startswith("_"):
+                    continue
+                qualified = f"{prefix}.{child.name}"
+                is_method = in_class and not isinstance(child, ast.ClassDef)
+                yield qualified, is_method, ast.get_docstring(child) is not None
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, qualified, True)
+
+    yield from walk(tree, module_name, False)
+
+
+def collect(root: Path) -> tuple[list[str], int]:
+    """Return (undocumented qualified names, total public definitions).
+
+    An undocumented *method* whose name is documented on some class in the
+    scanned package is treated as inheriting that docstring — the usual
+    convention for overrides of a documented interface method (``compute``,
+    ``outgoing_values``, ...).
+    """
+    entries: list[tuple[str, bool, bool]] = []
+    documented_method_names: set[str] = set()
+    for path in sorted(root.rglob("*.py")):
+        module_name = ".".join(path.relative_to(root.parent).with_suffix("").parts)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for qualified, is_method, documented in iter_public_definitions(
+            tree, module_name
+        ):
+            entries.append((qualified, is_method, documented))
+            if is_method and documented:
+                documented_method_names.add(qualified.rsplit(".", 1)[-1])
+
+    missing = [
+        qualified
+        for qualified, is_method, documented in entries
+        if not documented
+        and not (
+            is_method and qualified.rsplit(".", 1)[-1] in documented_method_names
+        )
+    ]
+    return missing, len(entries)
+
+
+def main() -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "src" / "repro",
+        help="package directory to scan",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=95.0,
+        help="minimum percentage of public definitions with docstrings",
+    )
+    args = parser.parse_args()
+
+    if not args.root.is_dir():
+        print(f"error: {args.root} is not a directory", file=sys.stderr)
+        return 2
+    missing, total = collect(args.root)
+    if total == 0:
+        print(f"error: no Python files found under {args.root}", file=sys.stderr)
+        return 2
+    documented = total - len(missing)
+    coverage = 100.0 * documented / total if total else 100.0
+    print(
+        f"docstring coverage: {documented}/{total} public definitions "
+        f"({coverage:.1f}%), threshold {args.threshold:.1f}%"
+    )
+    if coverage < args.threshold:
+        print("\nundocumented public definitions:")
+        for name in missing:
+            print(f"  - {name}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
