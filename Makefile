@@ -1,20 +1,29 @@
 # Development entry points for the VaidyaTL12 reproduction.
 #
 #   make test        tier-1 test suite + docstring-coverage gate
-#   make bench       engine benchmark -> BENCH_engine.json
+#   make test-fast   test suite without the slow cross-engine parity sweeps
+#   make bench       synchronous engine benchmark -> BENCH_engine.json
+#   make bench-async asynchronous engine benchmark -> BENCH_async.json
 #   make docs-check  docs exist, examples in them import, docstrings covered
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench docs-check
+.PHONY: test test-fast bench bench-async docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) tools/check_docstrings.py
 
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+	$(PYTHON) tools/check_docstrings.py
+
 bench:
 	$(PYTHON) benchmarks/bench_engine.py
+
+bench-async:
+	$(PYTHON) benchmarks/bench_async.py
 
 docs-check:
 	@test -f README.md || { echo "README.md missing"; exit 1; }

@@ -9,7 +9,11 @@ from repro.experiments.ablation import (
     default_ablation_graphs,
     rule_zoo,
 )
-from repro.experiments.asynchronous import async_condition_sweep, async_simulation_study
+from repro.experiments.asynchronous import (
+    async_condition_sweep,
+    async_simulation_study,
+    async_sweep,
+)
 from repro.experiments.checker import (
     checker_agreement_study,
     checker_scaling_cases,
@@ -59,6 +63,7 @@ __all__ = [
     "rule_zoo",
     "async_condition_sweep",
     "async_simulation_study",
+    "async_sweep",
     "checker_agreement_study",
     "checker_scaling_cases",
     "checker_test_battery",

@@ -1,21 +1,32 @@
 """Experiment E9 — the asynchronous extension (Section 7).
 
-Two parts:
+Three parts:
 
 1. *Condition sweep* — mirror the Corollary-2/3 sweeps with the asynchronous
    screens (``n > 5f``, in-degree ``≥ 3f + 1``) and the ``2f + 1`` threshold
    in the exhaustive checker, confirming the thresholds shift exactly as
    Section 7 states.
-2. *Simulation* — run Algorithm 1 through the partially asynchronous engine
-   (bounded message delay ``B``) on graphs satisfying the asynchronous
-   condition and report convergence and hull validity, and show that delays
+2. *Simulation study* — run Algorithm 1 through the partially asynchronous
+   model (bounded message delay ``B``) on graphs satisfying the asynchronous
+   condition and report convergence and hull validity, showing that delays
    slow but do not break convergence on those graphs.
+3. *Monte-Carlo sweep* (:func:`async_sweep`) — the batched workhorse: for
+   every case × delay bound × activation probability it runs ``B``
+   independent executions through
+   :class:`~repro.simulation.vectorized_async.VectorizedAsyncEngine` as one
+   ``(B, n)`` matrix and aggregates convergence statistics.  One sweep cell
+   costs roughly what a *single* scalar execution used to.
+
+Both simulation drivers run on the vectorized asynchronous engine; the
+cross-engine parity suite (``tests/test_engine_parity.py``) pins it
+bit-for-bit to the scalar reference, so the speed costs no fidelity.
 """
 
 from __future__ import annotations
 
 from repro.adversary.selection import random_fault_set
 from repro.adversary.strategies import ExtremePushStrategy
+from repro.adversary.vectorized import BatchExtremePushStrategy
 from repro.algorithms.trimmed_mean import TrimmedMeanRule
 from repro.conditions.asynchronous import (
     check_async_feasibility,
@@ -23,11 +34,16 @@ from repro.conditions.asynchronous import (
     passes_async_in_degree_screen,
 )
 from repro.conditions.necessary import check_feasibility
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import GraphTooLargeError, InvalidParameterError
 from repro.graphs.digraph import Digraph
 from repro.graphs.generators import complete_graph, core_network
-from repro.simulation.async_engine import run_partially_asynchronous
+from repro.simulation.engine import SimulationConfig
 from repro.simulation.inputs import bimodal_inputs
+from repro.simulation.vectorized import random_input_matrix
+from repro.simulation.vectorized_async import (
+    VectorizedAsyncEngine,
+    run_vectorized_async,
+)
 
 
 def async_condition_sweep(
@@ -58,6 +74,24 @@ def async_condition_sweep(
     return rows
 
 
+def _default_cases() -> list[tuple[str, Digraph, int]]:
+    """The labelled ``(graph, f)`` scenarios shared by both simulation drivers."""
+    return [
+        ("complete n=6 f=1", complete_graph(6), 1),
+        ("complete n=11 f=2", complete_graph(11), 2),
+        ("core n=8 f=1", core_network(8, 1), 1),
+    ]
+
+
+def _async_feasibility_flag(graph: Digraph, f: int) -> bool | None:
+    """Exhaustive async-condition verdict, or ``None`` when the graph exceeds
+    the exact checker's node cap (the sweep still runs the simulation)."""
+    try:
+        return check_async_feasibility(graph, f).satisfied
+    except GraphTooLargeError:
+        return None
+
+
 def async_simulation_study(
     cases: list[tuple[str, Digraph, int]] | None = None,
     delays: list[int] | None = None,
@@ -69,26 +103,19 @@ def async_simulation_study(
 
     For each case and each delay bound ``B`` the row records whether the run
     converged, how many rounds it took and whether every fault-free value
-    stayed within the initial fault-free hull.
+    stayed within the initial fault-free hull.  Executions go through the
+    vectorized asynchronous engine (bit-exact with the scalar reference).
     """
-    chosen_cases = (
-        cases
-        if cases is not None
-        else [
-            ("complete n=6 f=1", complete_graph(6), 1),
-            ("complete n=11 f=2", complete_graph(11), 2),
-            ("core n=8 f=1", core_network(8, 1), 1),
-        ]
-    )
+    chosen_cases = cases if cases is not None else _default_cases()
     chosen_delays = delays if delays is not None else [0, 1, 3]
     rows: list[dict[str, object]] = []
     for index, (label, graph, f) in enumerate(chosen_cases):
         rule = TrimmedMeanRule(f)
         faulty = random_fault_set(graph, f, rng=seed + index) if f > 0 else frozenset()
         inputs = bimodal_inputs(graph.nodes, 0.0, 1.0, rng=seed + index)
-        async_feasible = check_async_feasibility(graph, f).satisfied
+        async_feasible = _async_feasibility_flag(graph, f)
         for delay in chosen_delays:
-            outcome = run_partially_asynchronous(
+            outcome = run_vectorized_async(
                 graph=graph,
                 rule=rule,
                 inputs=inputs,
@@ -111,4 +138,73 @@ def async_simulation_study(
                     "hull_validity_ok": outcome.validity_ok,
                 }
             )
+    return rows
+
+
+def async_sweep(
+    cases: list[tuple[str, Digraph, int]] | None = None,
+    delays: list[int] | None = None,
+    update_probabilities: list[float] | None = None,
+    batch: int = 32,
+    rounds: int = 600,
+    tolerance: float = 1e-5,
+    seed: int = 23,
+) -> list[dict[str, object]]:
+    """Batched Monte-Carlo sweep of the partially asynchronous model.
+
+    For every case × delay bound × activation probability, runs ``batch``
+    independent executions (i.i.d. uniform inputs) as one vectorized pass and
+    aggregates: fraction converged, mean rounds to convergence, whether the
+    initial-hull validity held in every execution, and the mean final spread.
+    The per-row RNG streams derive from ``seed`` via the engine's
+    seed-spawning contract, so every cell is reproducible run to run.
+    """
+    if batch < 1:
+        raise InvalidParameterError(f"batch must be >= 1, got {batch}")
+    chosen_cases = cases if cases is not None else _default_cases()
+    chosen_delays = delays if delays is not None else [0, 1, 3]
+    chosen_probabilities = (
+        update_probabilities if update_probabilities is not None else [1.0, 0.75]
+    )
+    rows: list[dict[str, object]] = []
+    for index, (label, graph, f) in enumerate(chosen_cases):
+        rule = TrimmedMeanRule(f)
+        faulty = random_fault_set(graph, f, rng=seed + index) if f > 0 else frozenset()
+        async_feasible = _async_feasibility_flag(graph, f)
+        config = SimulationConfig(
+            max_rounds=rounds, tolerance=tolerance, record_history=False
+        )
+        # One input matrix per case: every delay × probability cell runs the
+        # same B executions, so differences across cells are model effects.
+        matrix = random_input_matrix(
+            tuple(sorted(graph.nodes, key=repr)), batch, rng=seed + 7 * index
+        )
+        for delay in chosen_delays:
+            for probability in chosen_probabilities:
+                engine = VectorizedAsyncEngine(
+                    graph=graph,
+                    rule=rule,
+                    faulty=faulty,
+                    adversary=BatchExtremePushStrategy(1.0) if faulty else None,
+                    config=config,
+                    max_delay=delay,
+                    update_probability=probability,
+                )
+                outcome = engine.run_batch(
+                    matrix, rng=seed + 1000 * index + 10 * delay
+                )
+                rows.append(
+                    {
+                        "case": label,
+                        "f": f,
+                        "async_condition_holds": async_feasible,
+                        "max_delay_B": delay,
+                        "update_probability": probability,
+                        "batch": batch,
+                        "fraction_converged": outcome.fraction_converged,
+                        "mean_rounds": outcome.mean_rounds_to_convergence(),
+                        "all_hull_valid": outcome.all_valid,
+                        "mean_final_spread": float(outcome.final_spread.mean()),
+                    }
+                )
     return rows

@@ -3,6 +3,7 @@ generators, metrics, traces and the high-level :func:`run_consensus` API."""
 
 from repro.simulation.async_engine import (
     PartiallyAsynchronousEngine,
+    canonical_edge_order,
     run_partially_asynchronous,
 )
 from repro.simulation.engine import (
@@ -36,15 +37,26 @@ from repro.simulation.vectorized import (
     random_input_matrix,
     run_vectorized,
 )
+from repro.simulation.vectorized_async import (
+    VectorizedAsyncEngine,
+    async_cross_check_engines,
+    run_vectorized_async,
+    spawn_row_generators,
+)
 
 __all__ = [
     "BatchOutcome",
     "BatchRunner",
     "EquivalenceReport",
     "VectorizedEngine",
+    "VectorizedAsyncEngine",
+    "async_cross_check_engines",
+    "canonical_edge_order",
     "cross_check_engines",
     "random_input_matrix",
     "run_vectorized",
+    "run_vectorized_async",
+    "spawn_row_generators",
     "PartiallyAsynchronousEngine",
     "run_partially_asynchronous",
     "SimulationConfig",

@@ -20,6 +20,28 @@ used by a fault-free node either comes from a fault-free node's earlier state
 (inside the initial hull) or is a Byzantine value that the trimming discards
 or sandwiches.  The engine therefore reports validity with respect to the
 **initial fault-free hull**.
+
+RNG-stream contract
+-------------------
+Delay and activation randomness follows a canonical draw order shared with
+:class:`~repro.simulation.vectorized_async.VectorizedAsyncEngine`, so a
+scalar execution and a vectorized batch row seeded identically consume the
+exact same random stream and produce bit-identical trajectories.  Per
+executed round ``t``, in this order:
+
+1. iff ``max_delay > 0``: one call ``rng.integers(0, max_delay + 1, size=E)``
+   where ``E`` is the number of directed edges and position ``k`` is the
+   ``k``-th edge in *canonical edge order* — senders sorted by ``repr``, and
+   within each sender its targets sorted by ``repr``;
+2. iff ``update_probability < 1.0``: one call ``rng.random(m)`` over the
+   ``m`` fault-free nodes sorted by ``repr``; a node recomputes exactly when
+   its coin is ``< update_probability``.
+
+No other engine-level randomness exists (adversary strategies own their own
+generators), and converged runs stop drawing.  Earlier revisions drew one
+scalar per message while iterating Python sets, which made trajectories
+depend on hash ordering; the canonical array draws are reproducible across
+processes and are what the cross-engine parity suite pins down.
 """
 
 from __future__ import annotations
@@ -34,12 +56,27 @@ from repro.exceptions import (
     FaultBudgetExceededError,
     InvalidParameterError,
     SimulationError,
+    ValidityViolationError,
 )
 from repro.graphs.digraph import Digraph
 from repro.simulation.engine import SimulationConfig
 from repro.simulation.metrics import fault_free_extremes, within_hull
 from repro.simulation.trace import ExecutionTrace
 from repro.types import ConsensusOutcome, NodeId, ReceivedValue, ValueMap
+
+
+def canonical_edge_order(graph: Digraph) -> tuple[tuple[NodeId, NodeId], ...]:
+    """Return every directed edge in the RNG contract's canonical order.
+
+    Sender-major: senders sorted by ``repr``, and within each sender its
+    targets sorted by ``repr``.  Both asynchronous engines interpret the
+    per-round delay array in exactly this order.
+    """
+    return tuple(
+        (sender, target)
+        for sender in sorted(graph.nodes, key=repr)
+        for target in sorted(graph.out_neighbors(sender), key=repr)
+    )
 
 
 class PartiallyAsynchronousEngine:
@@ -52,13 +89,15 @@ class PartiallyAsynchronousEngine:
     max_delay:
         The bound ``B`` on message delay, in iterations.  ``0`` reproduces the
         synchronous engine exactly (every message delivered in the round it
-        was sent for).
+        was sent for).  Negative values raise
+        :class:`~repro.exceptions.InvalidParameterError`.
     update_probability:
         Probability that a fault-free node recomputes its state in a given
         round; nodes that skip a round keep their previous state (and their
-        buffers keep absorbing deliveries).
+        buffers keep absorbing deliveries).  Must lie in ``(0, 1]``.
     rng:
-        Source of randomness for delays and activations.
+        Source of randomness for delays and activations, consumed according
+        to the module-level RNG-stream contract.
     """
 
     def __init__(
@@ -83,8 +122,8 @@ class PartiallyAsynchronousEngine:
         self._faulty = frozenset(faulty)
         self._adversary = adversary if adversary is not None else PassiveStrategy()
         self._config = config if config is not None else SimulationConfig()
-        self._max_delay = max_delay
-        self._update_probability = update_probability
+        self._max_delay = int(max_delay)
+        self._update_probability = float(update_probability)
         self._rng = (
             rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         )
@@ -103,10 +142,20 @@ class PartiallyAsynchronousEngine:
             raise FaultBudgetExceededError(len(self._faulty), rule.f)
         rule.validate_graph(graph, nodes=sorted(fault_free, key=repr))
 
+        self._canonical_edges = canonical_edge_order(graph)
+        self._ff_sorted: tuple[NodeId, ...] = tuple(
+            sorted(fault_free, key=repr)
+        )
+
     @property
     def max_delay(self) -> int:
         """The delay bound ``B``."""
         return self._max_delay
+
+    @property
+    def update_probability(self) -> float:
+        """Per-round activation probability of a fault-free node."""
+        return self._update_probability
 
     @property
     def faulty(self) -> frozenset[NodeId]:
@@ -126,6 +175,7 @@ class PartiallyAsynchronousEngine:
         state: dict[NodeId, float] = {
             node: float(inputs[node]) for node in graph.nodes
         }
+        nodes_sorted = sorted(graph.nodes, key=repr)
         # Freshest value known per directed edge: (send_round, value).  The
         # initial entries model the paper's assumption that every node knows
         # its in-neighbours' inputs (send_round 0).
@@ -157,54 +207,69 @@ class PartiallyAsynchronousEngine:
                 faulty=self._faulty,
                 f=self._rule.f,
             )
-            # 1. Every node emits its messages for this round, each with an
-            #    independent delay in {0, ..., B}.
-            for sender in graph.nodes:
-                if sender in self._faulty:
-                    outgoing = self._adversary.outgoing_values(sender, context)
-                    missing_targets = graph.out_neighbors(sender) - outgoing.keys()
-                    if missing_targets:
-                        raise SimulationError(
-                            f"adversary strategy {self._adversary.name!r} did not "
-                            f"provide values for edges "
-                            f"{sorted(missing_targets, key=repr)!r} out of faulty "
-                            f"node {sender!r}"
-                        )
-                else:
-                    outgoing = {
-                        target: state[sender]
-                        for target in graph.out_neighbors(sender)
-                    }
-                for target in sorted(graph.out_neighbors(sender), key=repr):
-                    delay = (
-                        int(self._rng.integers(0, self._max_delay + 1))
-                        if self._max_delay > 0
-                        else 0
+            # 1. Faulty nodes choose their per-edge values.  Iterating the
+            #    faulty frozenset directly matches the synchronous engine and
+            #    ScalarStrategyAdapter call order, so RNG-backed strategies
+            #    consume their own draws identically everywhere.
+            faulty_messages: dict[NodeId, dict[NodeId, float]] = {}
+            for node in self._faulty:
+                outgoing = self._adversary.outgoing_values(node, context)
+                missing_targets = graph.out_neighbors(node) - outgoing.keys()
+                if missing_targets:
+                    raise SimulationError(
+                        f"adversary strategy {self._adversary.name!r} did not "
+                        f"provide values for edges "
+                        f"{sorted(missing_targets, key=repr)!r} out of faulty "
+                        f"node {node!r}"
                     )
-                    in_flight[round_index + delay].append(
-                        (round_index, sender, target, float(outgoing[target]))
-                    )
+                faulty_messages[node] = {
+                    target: float(value) for target, value in outgoing.items()
+                }
 
-            # 2. Deliveries scheduled for this round update the buffers
+            # 2. Every node emits its messages for this round; delays come
+            #    from one canonical-order array draw (the RNG contract).
+            delays = (
+                self._rng.integers(0, self._max_delay + 1, size=len(self._canonical_edges))
+                if self._max_delay > 0
+                else None
+            )
+            for position, (sender, target) in enumerate(self._canonical_edges):
+                if sender in self._faulty:
+                    value = faulty_messages[sender][target]
+                else:
+                    value = state[sender]
+                delay = int(delays[position]) if delays is not None else 0
+                in_flight[round_index + delay].append(
+                    (round_index, sender, target, value)
+                )
+
+            # 3. Deliveries scheduled for this round update the buffers
             #    (freshest send time wins).
             for send_round, sender, target, value in in_flight.pop(round_index, []):
                 stored_round, _ = freshest[(sender, target)]
                 if send_round >= stored_round:
                     freshest[(sender, target)] = (send_round, value)
 
-            # 3. Activated fault-free nodes recompute from their buffers;
+            # 4. Activation coins: one canonical-order array draw per round.
+            active: set[NodeId] | None = None
+            if self._update_probability < 1.0:
+                coins = self._rng.random(len(self._ff_sorted))
+                active = {
+                    node
+                    for node, coin in zip(self._ff_sorted, coins)
+                    if coin < self._update_probability
+                }
+
+            # 5. Activated fault-free nodes recompute from their buffers;
             #    faulty nodes take their nominal value.
             new_state = dict(state)
-            for node in graph.nodes:
+            for node in nodes_sorted:
                 if node in self._faulty:
                     new_state[node] = float(
                         self._adversary.nominal_value(node, context)
                     )
                     continue
-                if (
-                    self._update_probability < 1.0
-                    and self._rng.random() >= self._update_probability
-                ):
+                if active is not None and node not in active:
                     continue
                 received = [
                     ReceivedValue(sender=sender, value=freshest[(sender, node)][1])
@@ -222,6 +287,12 @@ class PartiallyAsynchronousEngine:
             ]
             if not within_hull(fault_free_values, hull_min, hull_max):
                 hull_ok = False
+                if config.strict_validity:
+                    raise ValidityViolationError(
+                        f"hull validity violated at round {round_index}: a "
+                        f"fault-free value left the initial hull "
+                        f"[{hull_min}, {hull_max}]"
+                    )
             if config.record_history:
                 trace.record_round(round_index, state)
             current_spread = high - low

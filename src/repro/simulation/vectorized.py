@@ -650,6 +650,46 @@ class EquivalenceReport:
     first_divergence_round: int | None = None
 
 
+def _divergence_report(
+    rounds_checked: int,
+    value_pairs,
+    length_mismatch: bool = False,
+) -> EquivalenceReport:
+    """Fold ``(round_index, reference, candidate)`` triples into a report.
+
+    Shared by the synchronous and asynchronous cross-checkers so the exact
+    comparison semantics (float ``==``, NaN treated as infinite divergence,
+    first-divergence bookkeeping) live in one place.  ``length_mismatch``
+    records that one engine produced more rounds than the other; it forces
+    ``identical=False`` but never hides an earlier value divergence — the
+    earliest diverging round and the real magnitude win when both occur.
+    """
+    identical = True
+    max_diff = 0.0
+    first_divergence: int | None = None
+    for round_index, reference, candidate in value_pairs:
+        if reference == candidate:
+            continue
+        identical = False
+        if first_divergence is None:
+            first_divergence = round_index
+        difference = abs(reference - candidate)
+        if np.isnan(difference):  # pragma: no cover - defensive
+            difference = float("inf")
+        max_diff = max(max_diff, difference)
+    if length_mismatch:
+        identical = False
+        if first_divergence is None:
+            first_divergence = rounds_checked
+            max_diff = float("inf")
+    return EquivalenceReport(
+        rounds_checked=rounds_checked,
+        identical=identical,
+        max_abs_difference=max_diff,
+        first_divergence_round=first_divergence,
+    )
+
+
 def cross_check_engines(
     graph: Digraph,
     rule: UpdateRule,
@@ -700,30 +740,15 @@ def cross_check_engines(
     scalar_state = {node: float(inputs[node]) for node in graph.nodes}
     matrix = vector_engine.pack_inputs(scalar_state)
 
-    identical = True
-    max_diff = 0.0
-    first_divergence: int | None = None
-    for round_index in range(1, total_rounds + 1):
-        scalar_state = scalar_engine.step(scalar_state, round_index)
-        matrix = vector_engine.step_matrix(matrix, round_index)
-        for column, node in enumerate(vector_engine.nodes):
-            scalar_value = scalar_state[node]
-            vector_value = float(matrix[0, column])
-            if scalar_value == vector_value:
-                continue
-            identical = False
-            if first_divergence is None:
-                first_divergence = round_index
-            difference = abs(scalar_value - vector_value)
-            if np.isnan(difference):  # pragma: no cover - defensive
-                difference = float("inf")
-            max_diff = max(max_diff, difference)
-    return EquivalenceReport(
-        rounds_checked=total_rounds,
-        identical=identical,
-        max_abs_difference=max_diff,
-        first_divergence_round=first_divergence,
-    )
+    def stepped_pairs():
+        nonlocal scalar_state, matrix
+        for round_index in range(1, total_rounds + 1):
+            scalar_state = scalar_engine.step(scalar_state, round_index)
+            matrix = vector_engine.step_matrix(matrix, round_index)
+            for column, node in enumerate(vector_engine.nodes):
+                yield round_index, scalar_state[node], float(matrix[0, column])
+
+    return _divergence_report(total_rounds, stepped_pairs())
 
 
 def run_vectorized(

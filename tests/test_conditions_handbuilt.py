@@ -1,0 +1,219 @@
+"""Conditions-package tests on hand-built digraphs with answers known by
+construction.
+
+``repro.conditions`` was the least-tested package; these tests pin it down
+with witness digraphs whose feasibility verdicts, violating partitions,
+``⇒``-relation values and propagation sequences are all derivable by hand —
+no reliance on the checkers agreeing with themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.asynchronous import (
+    async_threshold,
+    check_async_feasibility,
+    find_async_violating_partition,
+    passes_async_count_screen,
+    passes_async_in_degree_screen,
+    satisfies_async_condition,
+)
+from repro.conditions.necessary import (
+    check_feasibility,
+    find_violating_partition,
+    maximal_insulated_subset,
+    satisfies_theorem1,
+    verify_witness,
+    violates_condition,
+)
+from repro.conditions.relations import (
+    influenced_set,
+    propagates,
+    propagation_length_bound,
+    reaches,
+    reaches_f,
+)
+from repro.exceptions import InvalidParameterError, InvalidPartitionError
+from repro.graphs import Digraph, complete_graph
+from repro.types import PartitionWitness
+
+
+def barbell(clique_size: int, cross_edges: int, bridges_per_node: int = 1) -> Digraph:
+    """Two bidirectional ``clique_size``-cliques ``L = {0..k-1}`` and
+    ``R = {k..2k-1}``, plus bidirectional bridges: node ``i`` of ``L`` pairs
+    with ``k + ((i + j) mod k)`` of ``R`` for ``j = 0 … bridges_per_node-1``
+    (only the first ``cross_edges`` values of ``i`` are bridged).
+
+    With ``cross_edges = clique_size`` every node has exactly
+    ``bridges_per_node`` in-neighbours from the far side, so the partition
+    ``(F=∅, L, C=∅, R)`` is insulated exactly at thresholds
+    ``> bridges_per_node`` — a violating partition derivable by hand.
+    """
+    graph = Digraph(nodes=range(2 * clique_size))
+    for side_start in (0, clique_size):
+        for a in range(side_start, side_start + clique_size):
+            for b in range(a + 1, side_start + clique_size):
+                graph.add_bidirectional_edge(a, b)
+    for i in range(cross_edges):
+        for j in range(bridges_per_node):
+            graph.add_bidirectional_edge(i, clique_size + ((i + j) % clique_size))
+    return graph
+
+
+class TestTheorem1OnHandbuiltGraphs:
+    def test_barbell_violates_with_known_partition(self):
+        # Each node has exactly one in-neighbour across the bridge, which is
+        # < f + 1 = 2: both cliques are insulated, a violation by construction.
+        graph = barbell(4, 4)
+        left = frozenset(range(4))
+        right = frozenset(range(4, 8))
+        assert violates_condition(graph, 1, (), left, (), right)
+        witness = PartitionWitness(
+            faulty=frozenset(), left=left, center=frozenset(), right=right
+        )
+        assert verify_witness(graph, 1, witness)
+        assert not satisfies_theorem1(graph, 1)
+
+    def test_search_finds_a_genuine_witness_on_the_barbell(self):
+        graph = barbell(4, 4)
+        witness = find_violating_partition(graph, 1)
+        assert witness is not None
+        assert verify_witness(graph, 1, witness)
+
+    def test_barbell_with_f0_satisfies(self):
+        # At threshold f + 1 = 1 a single bridge edge already de-insulates
+        # both sides, so the f = 0 condition holds.
+        graph = barbell(4, 4)
+        assert satisfies_theorem1(graph, 0)
+        assert check_feasibility(graph, 0).satisfied
+
+    def test_complete_graph_feasible_via_structural_shortcut(self):
+        result = check_feasibility(complete_graph(4), 1)
+        assert result.satisfied
+        assert result.method == "structural:complete"
+        assert find_violating_partition(complete_graph(4), 1) is None
+
+    def test_check_feasibility_reports_exhaustive_witness(self):
+        result = check_feasibility(barbell(4, 4), 1)
+        assert not result.satisfied
+        assert result.method == "exhaustive"
+        assert result.witness is not None
+        assert verify_witness(barbell(4, 4), 1, result.witness)
+
+    def test_invalid_partitions_rejected(self):
+        graph = barbell(3, 3)
+        with pytest.raises(InvalidPartitionError):
+            # L and R overlap.
+            violates_condition(graph, 1, (), {0, 1}, (), {1, 2, 3, 4, 5})
+        with pytest.raises(InvalidPartitionError):
+            # Not a cover of V.
+            violates_condition(graph, 1, (), {0}, (), {5})
+        with pytest.raises(InvalidPartitionError):
+            # |F| exceeds f.
+            violates_condition(graph, 0, {0}, {1, 2}, (), {3, 4, 5})
+
+    def test_maximal_insulated_subset_closure(self):
+        # Star into node 0, candidate pool {0, 1}: node 0 has two
+        # in-neighbours outside the pool ({2, 3}), so the closure deletes it
+        # at threshold 2; leaf 1 has no in-edges and survives alone.
+        graph = Digraph(nodes=range(4), edges=[(1, 0), (2, 0), (3, 0)])
+        universe = frozenset(range(4))
+        closed = maximal_insulated_subset(
+            graph, frozenset({0, 1}), universe, threshold=2
+        )
+        assert closed == frozenset({1})
+
+
+class TestAsyncConditionOnHandbuiltGraphs:
+    def test_threshold_is_2f_plus_1(self):
+        assert async_threshold(0) == 1
+        assert async_threshold(2) == 5
+        with pytest.raises(InvalidParameterError):
+            async_threshold(-1)
+
+    def test_two_bridges_split_sync_from_async(self):
+        # Two bridges per node give every node exactly two far-side
+        # in-neighbours: insulated at the async threshold 2f + 1 = 3 but NOT
+        # at the sync threshold f + 1 = 2.  The verdicts on this explicit
+        # partition are therefore known by construction.
+        graph = barbell(6, 6, bridges_per_node=2)
+        left = frozenset(range(6))
+        right = frozenset(range(6, 12))
+        assert not violates_condition(graph, 1, (), left, (), right, threshold=2)
+        assert violates_condition(graph, 1, (), left, (), right, threshold=3)
+
+    def test_async_search_finds_witness_on_bridged_barbell(self):
+        graph = barbell(6, 6, bridges_per_node=2)
+        witness = find_async_violating_partition(graph, 1)
+        assert witness is not None
+        assert verify_witness(graph, 1, witness, threshold=async_threshold(1))
+        assert not satisfies_async_condition(graph, 1)
+
+    def test_complete6_passes_async_for_f1(self):
+        # K6 with f = 1: n = 6 > 5f and every |L| insulated at threshold 3
+        # would need |W − L| <= 2, impossible for disjoint non-empty L, R.
+        graph = complete_graph(6)
+        assert passes_async_count_screen(6, 1)
+        assert passes_async_in_degree_screen(graph, 1)
+        assert satisfies_async_condition(graph, 1)
+        assert check_async_feasibility(graph, 1).satisfied
+
+    def test_complete5_fails_async_count_screen(self):
+        result = check_async_feasibility(complete_graph(5), 1)
+        assert not result.satisfied
+        assert result.method == "screen:n>5f"
+
+    def test_async_in_degree_screen(self):
+        # Barbell(4, 1): un-bridged nodes have in-degree 3 < 3f + 1 = 4.
+        assert not passes_async_in_degree_screen(barbell(4, 1), 1)
+        assert passes_async_in_degree_screen(complete_graph(6), 1)
+
+
+class TestRelationsOnHandbuiltGraphs:
+    def test_influenced_set_thresholds(self):
+        # b receives from both a1 and a2; c receives only from a1.
+        graph = Digraph(nodes=["a1", "a2", "b", "c"],
+                        edges=[("a1", "b"), ("a2", "b"), ("a1", "c")])
+        sources = {"a1", "a2"}
+        targets = {"b", "c"}
+        assert influenced_set(graph, sources, targets, threshold=1) == {"b", "c"}
+        assert influenced_set(graph, sources, targets, threshold=2) == {"b"}
+        assert influenced_set(graph, sources, targets, threshold=3) == frozenset()
+        assert reaches(graph, sources, targets, threshold=2)
+        assert not reaches(graph, sources, targets, threshold=3)
+        assert reaches_f(graph, sources, targets, f=1)
+
+    def test_reaches_rejects_overlapping_sets(self):
+        graph = complete_graph(4)
+        with pytest.raises(InvalidPartitionError):
+            reaches(graph, {0, 1}, {1, 2}, threshold=1)
+
+    def test_propagation_along_a_chain(self):
+        # 0 -> 1 -> 2 -> 3 at threshold 1: one node moves per step, so the
+        # sequences are fully determined.
+        graph = Digraph(nodes=range(4), edges=[(0, 1), (1, 2), (2, 3)])
+        result = propagates(graph, {0}, {1, 2, 3}, threshold=1)
+        assert result.propagates
+        assert result.steps == 3
+        assert result.a_sets == (
+            frozenset({0}),
+            frozenset({0, 1}),
+            frozenset({0, 1, 2}),
+            frozenset({0, 1, 2, 3}),
+        )
+        assert result.b_sets[-1] == frozenset()
+
+    def test_propagation_stalls_against_the_edges(self):
+        # All edges point away from B: in(A => B) is empty immediately.
+        graph = Digraph(nodes=range(3), edges=[(1, 0), (2, 1)])
+        result = propagates(graph, {0}, {1, 2}, threshold=1)
+        assert not result.propagates
+        assert result.steps == 0
+        assert result.b_sets == (frozenset({1, 2}),)
+
+    def test_propagation_length_bound(self):
+        assert propagation_length_bound(10, 2) == 7
+        assert propagation_length_bound(2, 1) == 1
+        with pytest.raises(InvalidParameterError):
+            propagation_length_bound(0, 1)

@@ -1,0 +1,234 @@
+"""Cross-engine parity suite: every engine agrees bit-for-bit.
+
+Three equivalence layers, each parametrized over graph families × rules ×
+adversary strategies:
+
+1. **Synchronous trio** — the scalar :class:`SynchronousEngine`, the
+   vectorized :class:`VectorizedEngine`, and the vectorized
+   :class:`VectorizedAsyncEngine` degenerated to ``max_delay=0,
+   update_probability=1.0`` produce identical trajectories (``==`` on
+   floats, never ``approx``).
+2. **Asynchronous pair** — the scalar :class:`PartiallyAsynchronousEngine`
+   and :class:`VectorizedAsyncEngine` agree round-for-round under the shared
+   RNG-stream contract (same seed → same delay draws and activation coins).
+3. **Batch rows** — every row of a vectorized batch reproduces the scalar
+   run seeded with that row's spawned child stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    ExtremePushStrategy,
+    StaticValueStrategy,
+)
+from repro.algorithms import TrimmedMeanRule, TrimmedMidpointRule
+from repro.graphs import chord_network, complete_graph, core_network
+from repro.simulation import (
+    PartiallyAsynchronousEngine,
+    SimulationConfig,
+    VectorizedAsyncEngine,
+    async_cross_check_engines,
+    linear_ramp_inputs,
+    run_synchronous,
+    run_vectorized,
+    run_vectorized_async,
+    spawn_row_generators,
+    uniform_random_inputs,
+)
+from repro.simulation.vectorized import random_input_matrix
+
+
+def _adversary(kind: str):
+    if kind == "none":
+        return None
+    if kind == "extreme-push":
+        return ExtremePushStrategy(delta=2.0)
+    if kind == "static":
+        return StaticValueStrategy(7.5)
+    raise AssertionError(kind)
+
+
+SYNC_CASES = [
+    # (graph factory, f, faulty, rule factory, adversary kind)
+    (lambda: complete_graph(4), 1, {0}, TrimmedMeanRule, "extreme-push"),
+    (lambda: complete_graph(4), 1, {0}, TrimmedMidpointRule, "extreme-push"),
+    (lambda: complete_graph(5), 1, set(), TrimmedMeanRule, "none"),
+    (lambda: complete_graph(7), 2, {0, 6}, TrimmedMeanRule, "static"),
+    (lambda: complete_graph(7), 2, {1, 2}, TrimmedMidpointRule, "extreme-push"),
+    (lambda: core_network(7, 2), 2, {5, 6}, TrimmedMeanRule, "extreme-push"),
+    (lambda: core_network(8, 1), 1, {7}, TrimmedMeanRule, "static"),
+    (lambda: core_network(10, 2), 2, {8, 9}, TrimmedMidpointRule, "static"),
+    (lambda: chord_network(5, 1), 1, {2}, TrimmedMeanRule, "extreme-push"),
+    (lambda: chord_network(9, 1), 1, set(), TrimmedMidpointRule, "none"),
+]
+
+
+@pytest.mark.parametrize(
+    "graph_factory,f,faulty,rule_factory,adversary_kind",
+    SYNC_CASES,
+    ids=[f"sync-{i}" for i in range(len(SYNC_CASES))],
+)
+def test_sync_trio_bit_exact(graph_factory, f, faulty, rule_factory, adversary_kind):
+    """Scalar sync == vectorized sync == vectorized async at the degenerate point."""
+    graph = graph_factory()
+    inputs = uniform_random_inputs(graph.nodes, rng=11)
+    kwargs = dict(
+        faulty=frozenset(faulty),
+        max_rounds=25,
+        tolerance=0.0,
+        record_history=True,
+    )
+    scalar = run_synchronous(
+        graph,
+        rule_factory(f),
+        inputs,
+        adversary=_adversary(adversary_kind),
+        **kwargs,
+    )
+    vector = run_vectorized(
+        graph,
+        rule_factory(f),
+        inputs,
+        adversary=_adversary(adversary_kind),
+        **kwargs,
+    )
+    # All three share the default stop-on-convergence rule; with tolerance 0
+    # identical trajectories stop at identical rounds, so the histories must
+    # have equal length as well as equal contents.
+    degenerate = run_vectorized_async(
+        graph,
+        rule_factory(f),
+        inputs,
+        adversary=_adversary(adversary_kind),
+        max_delay=0,
+        update_probability=1.0,
+        **kwargs,
+    )
+    assert len(scalar.history) == len(vector.history) == len(degenerate.history)
+    for s_rec, v_rec, a_rec in zip(
+        scalar.history, vector.history, degenerate.history
+    ):
+        for node in graph.nodes:
+            assert s_rec.values[node] == v_rec.values[node]
+            assert s_rec.values[node] == a_rec.values[node]
+
+
+ASYNC_CASES = [
+    # (graph factory, f, faulty, rule factory, adversary kind, delay, p, seed)
+    (lambda: complete_graph(4), 1, {0}, TrimmedMeanRule, "extreme-push", 1, 1.0, 0),
+    (lambda: complete_graph(5), 1, set(), TrimmedMeanRule, "none", 2, 1.0, 1),
+    (lambda: complete_graph(5), 1, {4}, TrimmedMidpointRule, "static", 1, 0.6, 2),
+    (lambda: complete_graph(7), 2, {0, 1}, TrimmedMeanRule, "extreme-push", 3, 0.8, 3),
+    (lambda: complete_graph(7), 2, {5, 6}, TrimmedMidpointRule, "extreme-push", 2, 1.0, 4),
+    (lambda: core_network(7, 2), 2, {5, 6}, TrimmedMeanRule, "static", 2, 0.5, 5),
+    (lambda: core_network(8, 1), 1, {7}, TrimmedMeanRule, "extreme-push", 1, 0.9, 6),
+    (lambda: core_network(10, 2), 2, {3, 9}, TrimmedMeanRule, "extreme-push", 4, 0.7, 7),
+    (lambda: core_network(10, 2), 2, {0, 4}, TrimmedMidpointRule, "none", 3, 0.75, 8),
+    (lambda: chord_network(5, 1), 1, {2}, TrimmedMeanRule, "static", 2, 1.0, 9),
+    (lambda: chord_network(9, 1), 1, set(), TrimmedMeanRule, "none", 5, 0.4, 10),
+    (lambda: complete_graph(6), 1, {3}, TrimmedMeanRule, "extreme-push", 0, 0.5, 11),
+]
+
+
+@pytest.mark.parametrize(
+    "graph_factory,f,faulty,rule_factory,adversary_kind,delay,probability,seed",
+    ASYNC_CASES,
+    ids=[f"async-{i}" for i in range(len(ASYNC_CASES))],
+)
+def test_async_pair_bit_exact(
+    graph_factory, f, faulty, rule_factory, adversary_kind, delay, probability, seed
+):
+    """Scalar async == vectorized async under the shared RNG-stream contract."""
+    graph = graph_factory()
+    report = async_cross_check_engines(
+        graph,
+        rule_factory(f),
+        uniform_random_inputs(graph.nodes, rng=seed),
+        faulty=frozenset(faulty),
+        adversary=_adversary(adversary_kind),
+        config=SimulationConfig(max_rounds=40, tolerance=1e-9),
+        max_delay=delay,
+        update_probability=probability,
+        seed=seed,
+    )
+    assert report.identical, (
+        f"diverged at round {report.first_divergence_round} "
+        f"(max abs diff {report.max_abs_difference:.3e})"
+    )
+    assert report.rounds_checked > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("batch", [1, 4, 16])
+@pytest.mark.parametrize("delay,probability", [(0, 1.0), (2, 1.0), (3, 0.7)])
+def test_batch_rows_match_scalar_runs(batch, delay, probability):
+    """Row ``b`` of a batch reproduces the scalar run on row ``b``'s stream."""
+    graph = core_network(8, 1)
+    rule = TrimmedMeanRule(1)
+    faulty = frozenset({6})
+    config = SimulationConfig(max_rounds=120, tolerance=1e-7)
+    engine = VectorizedAsyncEngine(
+        graph,
+        rule,
+        faulty=faulty,
+        adversary=ExtremePushStrategy(1.5),
+        config=config,
+        max_delay=delay,
+        update_probability=probability,
+    )
+    matrix = random_input_matrix(engine.nodes, batch, rng=5)
+    outcome = engine.run_batch(matrix, rng=77)
+
+    for row in range(batch):
+        scalar = PartiallyAsynchronousEngine(
+            graph,
+            rule,
+            faulty=faulty,
+            adversary=ExtremePushStrategy(1.5),
+            config=config,
+            max_delay=delay,
+            update_probability=probability,
+            rng=spawn_row_generators(77, batch)[row],
+        ).run({node: matrix[row, i] for i, node in enumerate(engine.nodes)})
+        assert scalar.rounds_executed == outcome.rounds_executed[row]
+        assert scalar.converged == bool(outcome.converged[row])
+        assert scalar.validity_ok == bool(outcome.validity_ok[row])
+        assert scalar.final_spread == outcome.final_spread[row]
+        for column, node in enumerate(engine.nodes):
+            if node in faulty:
+                continue
+            assert scalar.final_values[node] == outcome.final_states[row, column]
+
+
+@pytest.mark.slow
+def test_single_run_seed_matches_scalar_seed_directly():
+    """run(rng=seed) mirrors the scalar engine's rng=seed convention exactly."""
+    graph = complete_graph(7)
+    inputs = linear_ramp_inputs(graph.nodes)
+    for seed in range(5):
+        scalar = PartiallyAsynchronousEngine(
+            graph,
+            TrimmedMeanRule(2),
+            faulty={0, 1},
+            adversary=ExtremePushStrategy(1.0),
+            config=SimulationConfig(max_rounds=60, tolerance=1e-8),
+            max_delay=2,
+            update_probability=0.8,
+            rng=seed,
+        ).run(inputs)
+        vector = run_vectorized_async(
+            graph,
+            TrimmedMeanRule(2),
+            inputs,
+            faulty={0, 1},
+            adversary=ExtremePushStrategy(1.0),
+            max_delay=2,
+            update_probability=0.8,
+            max_rounds=60,
+            tolerance=1e-8,
+            rng=seed,
+        )
+        assert scalar.final_values == vector.final_values
+        assert scalar.rounds_executed == vector.rounds_executed

@@ -1,0 +1,182 @@
+"""Seeded metamorphic/property tests for the simulation engines.
+
+Three families of properties, no new dependencies:
+
+* **Relabeling** — renaming nodes through an order-preserving bijection
+  permutes every trace consistently (the RNG-stream contract draws in
+  ``repr``-sorted order, so order-preserving maps keep the streams aligned).
+* **Affine equivalence** — the trimmed rules are translation- and
+  positive-scale-equivariant, so affinely shifting all inputs affinely
+  shifts every fault-free state of every round.
+* **Hull invariants** — both asynchronous engines keep every fault-free
+  value inside the initial fault-free hull at every recorded round, even
+  under the extreme-pushing adversary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import ExtremePushStrategy, StaticValueStrategy
+from repro.algorithms import TrimmedMeanRule, TrimmedMidpointRule
+from repro.graphs import Digraph, complete_graph, core_network
+from repro.simulation import (
+    run_partially_asynchronous,
+    run_synchronous,
+    run_vectorized_async,
+    uniform_random_inputs,
+)
+
+
+def _relabelled(graph: Digraph, mapping) -> Digraph:
+    return Digraph(
+        nodes=[mapping[node] for node in graph.nodes],
+        edges=[(mapping[s], mapping[t]) for s, t in graph.edges],
+    )
+
+
+class TestRelabeling:
+    """Order-preserving node renames permute traces consistently."""
+
+    @pytest.mark.parametrize("delay,probability", [(0, 1.0), (2, 0.7)])
+    def test_async_trace_permutes(self, delay, probability):
+        graph = complete_graph(7)
+        # repr-order preserving: 0..6 -> "n0".."n6".
+        mapping = {i: f"n{i}" for i in range(7)}
+        inputs = uniform_random_inputs(graph.nodes, rng=2)
+        relabelled_inputs = {mapping[node]: value for node, value in inputs.items()}
+        base = run_partially_asynchronous(
+            graph,
+            TrimmedMeanRule(2),
+            inputs,
+            faulty={0, 1},
+            adversary=ExtremePushStrategy(1.0),
+            max_delay=delay,
+            update_probability=probability,
+            max_rounds=40,
+            tolerance=1e-9,
+            rng=5,
+        )
+        renamed = run_partially_asynchronous(
+            _relabelled(graph, mapping),
+            TrimmedMeanRule(2),
+            relabelled_inputs,
+            faulty={mapping[0], mapping[1]},
+            adversary=ExtremePushStrategy(1.0),
+            max_delay=delay,
+            update_probability=probability,
+            max_rounds=40,
+            tolerance=1e-9,
+            rng=5,
+        )
+        assert len(base.history) == len(renamed.history)
+        for base_record, renamed_record in zip(base.history, renamed.history):
+            for node in graph.nodes:
+                assert base_record.values[node] == renamed_record.values[mapping[node]]
+
+    def test_vectorized_async_trace_permutes(self):
+        graph = core_network(8, 1)
+        mapping = {i: f"v{i}" for i in range(8)}
+        inputs = uniform_random_inputs(graph.nodes, rng=3)
+        base = run_vectorized_async(
+            graph,
+            TrimmedMeanRule(1),
+            inputs,
+            faulty={7},
+            adversary=StaticValueStrategy(40.0),
+            max_delay=2,
+            max_rounds=30,
+            tolerance=1e-9,
+            rng=9,
+        )
+        renamed = run_vectorized_async(
+            _relabelled(graph, mapping),
+            TrimmedMeanRule(1),
+            {mapping[node]: value for node, value in inputs.items()},
+            faulty={mapping[7]},
+            adversary=StaticValueStrategy(40.0),
+            max_delay=2,
+            max_rounds=30,
+            tolerance=1e-9,
+            rng=9,
+        )
+        for base_record, renamed_record in zip(base.history, renamed.history):
+            for node in graph.nodes:
+                assert base_record.values[node] == renamed_record.values[mapping[node]]
+
+
+class TestAffineEquivalence:
+    """Affine input shifts affinely shift every fault-free state."""
+
+    @pytest.mark.parametrize("scale,shift", [(2.0, 5.0), (0.5, -3.0), (10.0, 0.0)])
+    def test_synchronous(self, scale, shift):
+        graph = complete_graph(6)
+        inputs = uniform_random_inputs(graph.nodes, rng=4)
+        transformed = {node: scale * value + shift for node, value in inputs.items()}
+        base = run_synchronous(
+            graph, TrimmedMeanRule(1), inputs, max_rounds=15, tolerance=0.0,
+            stop_on_convergence=False,
+        )
+        moved = run_synchronous(
+            graph, TrimmedMeanRule(1), transformed, max_rounds=15, tolerance=0.0,
+            stop_on_convergence=False,
+        )
+        for base_record, moved_record in zip(base.history, moved.history):
+            for node in graph.nodes:
+                assert moved_record.values[node] == pytest.approx(
+                    scale * base_record.values[node] + shift, abs=1e-9 * max(1, scale)
+                )
+
+    @pytest.mark.parametrize("rule_factory", [TrimmedMeanRule, TrimmedMidpointRule])
+    def test_asynchronous_fault_free(self, rule_factory):
+        graph = complete_graph(6)
+        scale, shift = 3.0, -2.0
+        inputs = uniform_random_inputs(graph.nodes, rng=6)
+        transformed = {node: scale * value + shift for node, value in inputs.items()}
+        # Same seed -> same delay draws and activation coins: the executions
+        # are structurally identical, only the values move affinely.
+        base = run_vectorized_async(
+            graph, rule_factory(1), inputs, max_delay=2, update_probability=0.8,
+            max_rounds=25, tolerance=0.0, rng=12,
+        )
+        moved = run_vectorized_async(
+            graph, rule_factory(1), transformed, max_delay=2, update_probability=0.8,
+            max_rounds=25, tolerance=0.0, rng=12,
+        )
+        for base_record, moved_record in zip(base.history, moved.history):
+            for node in graph.nodes:
+                assert moved_record.values[node] == pytest.approx(
+                    scale * base_record.values[node] + shift, abs=1e-8
+                )
+
+
+class TestHullInvariants:
+    """Initial-hull validity holds at every recorded round of both engines."""
+
+    @pytest.mark.parametrize("runner", [run_partially_asynchronous, run_vectorized_async])
+    @pytest.mark.parametrize("delay,probability", [(1, 1.0), (3, 0.6)])
+    def test_fault_free_values_stay_in_initial_hull(self, runner, delay, probability):
+        graph = complete_graph(7)
+        faulty = frozenset({0, 1})
+        inputs = uniform_random_inputs(graph.nodes, rng=8)
+        hull_low = min(v for n, v in inputs.items() if n not in faulty)
+        hull_high = max(v for n, v in inputs.items() if n not in faulty)
+        outcome = runner(
+            graph,
+            TrimmedMeanRule(2),
+            inputs,
+            faulty=faulty,
+            adversary=ExtremePushStrategy(delta=10.0),
+            max_delay=delay,
+            update_probability=probability,
+            max_rounds=150,
+            tolerance=1e-6,
+            rng=31,
+        )
+        assert outcome.validity_ok
+        assert outcome.history, "history must be recorded for this property"
+        for record in outcome.history:
+            for node, value in record.values.items():
+                if node in faulty:
+                    continue
+                assert hull_low - 1e-9 <= value <= hull_high + 1e-9

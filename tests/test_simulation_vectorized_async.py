@@ -1,0 +1,279 @@
+"""Unit tests for the vectorized partially asynchronous engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary import ExtremePushStrategy, FrozenValueStrategy
+from repro.adversary.vectorized import BatchExtremePushStrategy, ScalarStrategyAdapter
+from repro.algorithms import TrimmedMeanRule
+from repro.algorithms.linear import LinearAverageRule
+from repro.exceptions import FaultBudgetExceededError, InvalidParameterError
+from repro.graphs import complete_graph, core_network
+from repro.simulation import (
+    SimulationConfig,
+    VectorizedAsyncEngine,
+    run_vectorized_async,
+    spawn_row_generators,
+)
+from repro.simulation.vectorized import random_input_matrix
+
+
+class TestConstructionGuards:
+    """Both asynchronous engines reject out-of-range model parameters."""
+
+    def test_negative_max_delay_rejected(self):
+        with pytest.raises(InvalidParameterError, match="max_delay"):
+            VectorizedAsyncEngine(complete_graph(4), TrimmedMeanRule(1), max_delay=-1)
+
+    @pytest.mark.parametrize("probability", [0.0, -0.5, 1.5])
+    def test_out_of_range_update_probability_rejected(self, probability):
+        with pytest.raises(InvalidParameterError, match="update_probability"):
+            VectorizedAsyncEngine(
+                complete_graph(4),
+                TrimmedMeanRule(1),
+                update_probability=probability,
+            )
+
+    def test_fault_budget_enforced(self):
+        with pytest.raises(FaultBudgetExceededError):
+            VectorizedAsyncEngine(
+                complete_graph(7), TrimmedMeanRule(1), faulty={0, 1}
+            )
+
+    def test_all_faulty_rejected_as_invalid_parameter(self):
+        with pytest.raises(InvalidParameterError):
+            VectorizedAsyncEngine(
+                complete_graph(2), TrimmedMeanRule(5), faulty={0, 1}
+            )
+
+    def test_unsupported_rule_rejected(self):
+        with pytest.raises(InvalidParameterError, match="kernel"):
+            VectorizedAsyncEngine(complete_graph(4), LinearAverageRule(f=1))
+
+    def test_properties(self):
+        engine = VectorizedAsyncEngine(
+            complete_graph(5),
+            TrimmedMeanRule(1),
+            faulty={4},
+            max_delay=3,
+            update_probability=0.25,
+        )
+        assert engine.max_delay == 3
+        assert engine.update_probability == 0.25
+        assert engine.faulty == frozenset({4})
+
+    def test_step_matrix_is_refused(self):
+        engine = VectorizedAsyncEngine(complete_graph(4), TrimmedMeanRule(1))
+        with pytest.raises(InvalidParameterError, match="step_async"):
+            engine.step_matrix(np.zeros((1, 4)), 1)
+
+
+class TestSpawnRowGenerators:
+    def test_int_seed_is_reproducible(self):
+        first = spawn_row_generators(9, 4)
+        second = spawn_row_generators(9, 4)
+        for a, b in zip(first, second):
+            assert a.random(5).tolist() == b.random(5).tolist()
+
+    def test_explicit_generator_sequence_passthrough(self):
+        generators = [np.random.default_rng(i) for i in range(3)]
+        assert spawn_row_generators(generators, 3) is not generators
+        assert spawn_row_generators(tuple(generators), 3) == generators
+
+    def test_wrong_length_sequence_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            spawn_row_generators([np.random.default_rng(0)], 2)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            spawn_row_generators("not-a-seed", 2)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            spawn_row_generators(0, 0)
+
+
+class TestRunBatch:
+    def test_shapes_and_determinism(self):
+        graph = core_network(8, 1)
+        engine = VectorizedAsyncEngine(
+            graph,
+            TrimmedMeanRule(1),
+            faulty={7},
+            adversary=BatchExtremePushStrategy(1.0),
+            config=SimulationConfig(max_rounds=200, tolerance=1e-6),
+            max_delay=2,
+            update_probability=0.8,
+        )
+        matrix = random_input_matrix(engine.nodes, 6, rng=1)
+        first = engine.run_batch(matrix, rng=3)
+        second = engine.run_batch(matrix, rng=3)
+        assert first.batch_size == 6
+        assert first.final_states.shape == (6, 8)
+        assert np.array_equal(first.final_states, second.final_states)
+        assert np.array_equal(first.rounds_executed, second.rounds_executed)
+        assert first.converged.all()
+        assert first.all_valid
+
+    def test_delay_zero_full_activation_consumes_no_rng(self):
+        # The degenerate configuration draws nothing, so any rng gives the
+        # same (synchronous) trajectories.
+        graph = complete_graph(5)
+        engine = VectorizedAsyncEngine(
+            graph,
+            TrimmedMeanRule(1),
+            config=SimulationConfig(max_rounds=40, tolerance=1e-9),
+            max_delay=0,
+            update_probability=1.0,
+        )
+        matrix = random_input_matrix(engine.nodes, 4, rng=2)
+        assert np.array_equal(
+            engine.run_batch(matrix, rng=0).final_states,
+            engine.run_batch(matrix, rng=999).final_states,
+        )
+
+    def test_unsafe_shared_adapter_rejected_for_batches(self):
+        engine = VectorizedAsyncEngine(
+            complete_graph(5),
+            TrimmedMeanRule(1),
+            faulty={0},
+            adversary=ScalarStrategyAdapter(strategy=FrozenValueStrategy()),
+            config=SimulationConfig(max_rounds=5),
+            max_delay=1,
+        )
+        matrix = random_input_matrix(engine.nodes, 3, rng=0)
+        with pytest.raises(InvalidParameterError, match="factory"):
+            engine.run_batch(matrix, rng=0)
+
+    def test_factory_adapter_supported(self):
+        engine = VectorizedAsyncEngine(
+            complete_graph(5),
+            TrimmedMeanRule(1),
+            faulty={0},
+            adversary=ScalarStrategyAdapter(factory=FrozenValueStrategy),
+            config=SimulationConfig(max_rounds=300, tolerance=1e-6),
+            max_delay=1,
+        )
+        outcome = engine.run_batch(random_input_matrix(engine.nodes, 3, rng=4), rng=8)
+        assert outcome.converged.all()
+
+
+class TestRunSingle:
+    def test_run_rejects_multi_row_inputs(self):
+        engine = VectorizedAsyncEngine(complete_graph(4), TrimmedMeanRule(1))
+        with pytest.raises(InvalidParameterError, match="run_batch"):
+            engine.run(np.zeros((2, 4)), rng=0)
+
+    def test_missing_inputs_rejected(self):
+        engine = VectorizedAsyncEngine(complete_graph(3), TrimmedMeanRule(0))
+        with pytest.raises(InvalidParameterError):
+            engine.run({0: 1.0}, rng=0)
+
+    def test_converges_under_attack_and_delay(self):
+        graph = complete_graph(7)
+        outcome = run_vectorized_async(
+            graph,
+            TrimmedMeanRule(2),
+            {node: float(node) for node in graph.nodes},
+            faulty={0, 1},
+            adversary=ExtremePushStrategy(delta=5.0),
+            max_delay=2,
+            update_probability=0.9,
+            max_rounds=1500,
+            tolerance=1e-5,
+            rng=7,
+        )
+        assert outcome.converged
+        assert outcome.validity_ok
+        assert outcome.rounds_executed > 0
+
+    def test_history_records_every_round(self):
+        graph = complete_graph(5)
+        outcome = run_vectorized_async(
+            graph,
+            TrimmedMeanRule(1),
+            {node: float(node) for node in graph.nodes},
+            max_delay=1,
+            max_rounds=30,
+            tolerance=1e-6,
+            rng=2,
+        )
+        assert len(outcome.history) == outcome.rounds_executed + 1
+        assert outcome.history[0].round_index == 0
+
+
+class TestStrictValidity:
+    """``strict_validity`` turns an initial-hull escape into an exception."""
+
+    def test_scalar_async_raises_on_real_violation(self):
+        # The non-fault-tolerant linear average lets a Byzantine neighbour
+        # drag fault-free values outside the initial hull immediately.
+        from repro.exceptions import ValidityViolationError
+        from repro.simulation import PartiallyAsynchronousEngine
+
+        graph = complete_graph(5)
+        engine = PartiallyAsynchronousEngine(
+            graph,
+            LinearAverageRule(f=1),
+            faulty={0},
+            adversary=ExtremePushStrategy(delta=50.0),
+            config=SimulationConfig(max_rounds=20, strict_validity=True),
+            max_delay=1,
+            rng=0,
+        )
+        with pytest.raises(ValidityViolationError, match="hull validity"):
+            engine.run({node: float(node) for node in graph.nodes})
+
+    def test_vectorized_async_run_raises_when_state_escapes(self, monkeypatch):
+        from repro.exceptions import ValidityViolationError
+
+        engine = VectorizedAsyncEngine(
+            complete_graph(4),
+            TrimmedMeanRule(1),
+            config=SimulationConfig(max_rounds=5, strict_validity=True),
+            max_delay=1,
+        )
+
+        def escaping_step(state, buffers, round_index, delays, active_nodes):
+            return np.asarray(state, dtype=float) + 1e6
+
+        monkeypatch.setattr(engine, "step_async", escaping_step)
+        with pytest.raises(ValidityViolationError, match="hull validity"):
+            engine.run({node: float(node) for node in range(4)}, rng=0)
+
+    def test_vectorized_async_batch_raises_and_names_the_row(self, monkeypatch):
+        from repro.exceptions import ValidityViolationError
+
+        engine = VectorizedAsyncEngine(
+            complete_graph(4),
+            TrimmedMeanRule(1),
+            config=SimulationConfig(max_rounds=5, strict_validity=True),
+            max_delay=1,
+        )
+
+        def escaping_step(state, buffers, round_index, delays, active_nodes):
+            shifted = np.array(state, dtype=float)
+            shifted[1] += 1e6  # only row 1 escapes
+            return shifted
+
+        monkeypatch.setattr(engine, "step_async", escaping_step)
+        matrix = random_input_matrix(engine.nodes, 3, rng=0)
+        with pytest.raises(ValidityViolationError, match="row 1"):
+            engine.run_batch(matrix, rng=0)
+
+    def test_non_strict_run_reports_instead_of_raising(self, monkeypatch):
+        engine = VectorizedAsyncEngine(
+            complete_graph(4),
+            TrimmedMeanRule(1),
+            config=SimulationConfig(max_rounds=3, strict_validity=False, tolerance=0.0),
+            max_delay=1,
+        )
+
+        def escaping_step(state, buffers, round_index, delays, active_nodes):
+            return np.asarray(state, dtype=float) + 1e6
+
+        monkeypatch.setattr(engine, "step_async", escaping_step)
+        outcome = engine.run({node: float(node) for node in range(4)}, rng=0)
+        assert not outcome.validity_ok
