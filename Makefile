@@ -5,19 +5,29 @@
 #   make bench       synchronous engine benchmark -> BENCH_engine.json
 #   make bench-async asynchronous engine benchmark -> BENCH_async.json
 #   make docs-check  docs exist, examples in them import, docstrings covered
+#   make sweep-smoke end-to-end CLI sweep: run a tiny sharded grid with two
+#                    workers, then re-open it with `repro report`
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-async docs-check
+# The docstring gate covers the library, the sweeps/CLI layer and the
+# benchmark scripts; --require guards against a package silently leaving
+# the scan.
+DOCSTRING_GATE = $(PYTHON) tools/check_docstrings.py \
+	--root src/repro --root benchmarks \
+	--require repro.cli --require repro.sweeps.registry \
+	--require repro.sweeps.orchestrator --require repro.sweeps.store
+
+.PHONY: test test-fast bench bench-async docs-check sweep-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
-	$(PYTHON) tools/check_docstrings.py
+	$(DOCSTRING_GATE)
 
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
-	$(PYTHON) tools/check_docstrings.py
+	$(DOCSTRING_GATE)
 
 bench:
 	$(PYTHON) benchmarks/bench_engine.py
@@ -29,5 +39,18 @@ docs-check:
 	@test -f README.md || { echo "README.md missing"; exit 1; }
 	@test -f docs/architecture.md || { echo "docs/architecture.md missing"; exit 1; }
 	@test -f docs/performance.md || { echo "docs/performance.md missing"; exit 1; }
-	$(PYTHON) tools/check_docstrings.py
+	@test -f docs/cli.md || { echo "docs/cli.md missing"; exit 1; }
+	@test -f docs/experiments.md || { echo "docs/experiments.md missing"; exit 1; }
+	$(DOCSTRING_GATE)
 	@echo "docs OK"
+
+sweep-smoke:
+	rm -rf .sweep-smoke
+	$(PYTHON) -m repro list
+	$(PYTHON) -m repro run convergence_rate \
+		--grid "case=complete n=4 f=1,core n=7 f=2" \
+		--grid batch=8 --grid rounds=80 \
+		--workers 2 --results-dir .sweep-smoke --run-id smoke
+	$(PYTHON) -m repro report smoke --results-dir .sweep-smoke
+	rm -rf .sweep-smoke
+	@echo "sweep smoke OK"

@@ -10,10 +10,12 @@ with bounded message delays and sporadic activation — through three paths:
 * ``batch``: the same engine over the full ``(B, n)`` state matrix and
   ``(B, E, max_delay + 1)`` delivery ring.
 
-The headline number is ``speedup_batch_vs_scalar``: the ratio of
+The headline number is ``speedups.batch_vs_scalar``: the ratio of
 per-run-round throughput between the batched vectorized pass and the scalar
-engine on the same scenario.  Results land in ``BENCH_async.json`` (see
-``docs/performance.md``); run via ``make bench-async`` or::
+engine on the same scenario.  Results land in ``BENCH_async.json`` using the
+same unified benchmark schema as ``BENCH_engine.json``
+(:func:`repro.sweeps.provenance.bench_payload`; see ``docs/performance.md``);
+run via ``make bench-async`` or::
 
     PYTHONPATH=src python benchmarks/bench_async.py [--n 200] [--batch 64]
 
@@ -27,11 +29,8 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import time
 from pathlib import Path
-
-import numpy as np
 
 from repro.adversary.selection import random_fault_set
 from repro.adversary.strategies import ExtremePushStrategy
@@ -46,6 +45,7 @@ from repro.simulation.vectorized_async import (
     VectorizedAsyncEngine,
     async_cross_check_engines,
 )
+from repro.sweeps.provenance import bench_payload
 
 
 def time_scalar_run(
@@ -168,8 +168,9 @@ def run_benchmark(
     batch_seconds = time_batch_run(vector_engine, matrix, seed)
     batch_run_rounds_per_sec = (batch * rounds) / batch_seconds
 
-    return {
-        "scenario": {
+    return bench_payload(
+        benchmark="engine-async",
+        scenario={
             "graph": f"core_network(n={n}, f={f})",
             "n": n,
             "f": f,
@@ -180,30 +181,28 @@ def run_benchmark(
             "adversary": "extreme-push(delta=1.0)",
             "seed": seed,
         },
-        "equivalence_checked": True,
-        "scalar": {
-            "runs_timed": timed_runs,
-            "seconds": scalar_seconds,
-            "run_rounds_per_sec": scalar_run_rounds_per_sec,
+        results={
+            "scalar": {
+                "runs_timed": timed_runs,
+                "seconds": scalar_seconds,
+                "run_rounds_per_sec": scalar_run_rounds_per_sec,
+            },
+            "vectorized_single": {
+                "seconds": single_seconds,
+                "run_rounds_per_sec": single_run_rounds_per_sec,
+            },
+            "batch": {
+                "seconds": batch_seconds,
+                "run_rounds_per_sec": batch_run_rounds_per_sec,
+            },
         },
-        "vectorized_single": {
-            "seconds": single_seconds,
-            "run_rounds_per_sec": single_run_rounds_per_sec,
-            "speedup_vs_scalar": single_run_rounds_per_sec
+        speedups={
+            "single_vs_scalar": single_run_rounds_per_sec
+            / scalar_run_rounds_per_sec,
+            "batch_vs_scalar": batch_run_rounds_per_sec
             / scalar_run_rounds_per_sec,
         },
-        "batch": {
-            "seconds": batch_seconds,
-            "run_rounds_per_sec": batch_run_rounds_per_sec,
-        },
-        "speedup_batch_vs_scalar": batch_run_rounds_per_sec
-        / scalar_run_rounds_per_sec,
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
-    }
+    )
 
 
 def main() -> None:
@@ -247,9 +246,9 @@ def main() -> None:
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     print(
-        f"\nbatch throughput is {result['speedup_batch_vs_scalar']:.1f}x the "
-        f"scalar asynchronous engine on {result['scenario']['graph']} with "
-        f"B={result['scenario']['batch']}, "
+        f"\nbatch throughput is {result['speedups']['batch_vs_scalar']:.1f}x "
+        f"the scalar asynchronous engine on {result['scenario']['graph']} "
+        f"with B={result['scenario']['batch']}, "
         f"max_delay={result['scenario']['max_delay']}"
     )
 

@@ -10,10 +10,13 @@ adversary — through three execution paths:
   a batch of one;
 * ``batch``: the same engine over the full ``(B, n)`` state matrix.
 
-The headline number is ``speedup_batch_vs_scalar``: the ratio of
+The headline number is ``speedups.batch_vs_scalar``: the ratio of
 per-run-round throughput between the batched vectorized pass and the scalar
-engine on the same scenario.  Results land in ``BENCH_engine.json`` (see
-``docs/performance.md``); run via ``make bench`` or::
+engine on the same scenario.  Results land in ``BENCH_engine.json`` using the
+unified benchmark schema (``schema_version``, ``scenario``, ``results``,
+``speedups``, ``provenance`` with machine metadata and git sha — shared with
+``bench_async.py`` via :func:`repro.sweeps.provenance.bench_payload` and
+documented in ``docs/performance.md``); run via ``make bench`` or::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--n 200] [--batch 64]
 
@@ -26,7 +29,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import time
 from pathlib import Path
 
@@ -42,6 +44,7 @@ from repro.simulation.vectorized import (
     cross_check_engines,
     random_input_matrix,
 )
+from repro.sweeps.provenance import bench_payload
 
 
 def time_scalar_rounds(
@@ -138,8 +141,9 @@ def run_benchmark(
     batch_seconds = time_vectorized_rounds(vector_engine, matrix, rounds)
     batch_run_rounds_per_sec = (batch * rounds) / batch_seconds
 
-    return {
-        "scenario": {
+    return bench_payload(
+        benchmark="engine-sync",
+        scenario={
             "graph": f"core_network(n={n}, f={f})",
             "n": n,
             "f": f,
@@ -148,29 +152,28 @@ def run_benchmark(
             "adversary": "extreme-push(delta=1.0)",
             "seed": seed,
         },
-        "equivalence_checked": True,
-        "scalar": {
-            "runs_timed": timed_runs,
-            "seconds": scalar_seconds,
-            "run_rounds_per_sec": scalar_run_rounds_per_sec,
+        results={
+            "scalar": {
+                "runs_timed": timed_runs,
+                "seconds": scalar_seconds,
+                "run_rounds_per_sec": scalar_run_rounds_per_sec,
+            },
+            "vectorized_single": {
+                "seconds": single_seconds,
+                "run_rounds_per_sec": single_run_rounds_per_sec,
+            },
+            "batch": {
+                "seconds": batch_seconds,
+                "run_rounds_per_sec": batch_run_rounds_per_sec,
+            },
         },
-        "vectorized_single": {
-            "seconds": single_seconds,
-            "run_rounds_per_sec": single_run_rounds_per_sec,
-            "speedup_vs_scalar": single_run_rounds_per_sec
+        speedups={
+            "single_vs_scalar": single_run_rounds_per_sec
+            / scalar_run_rounds_per_sec,
+            "batch_vs_scalar": batch_run_rounds_per_sec
             / scalar_run_rounds_per_sec,
         },
-        "batch": {
-            "seconds": batch_seconds,
-            "run_rounds_per_sec": batch_run_rounds_per_sec,
-        },
-        "speedup_batch_vs_scalar": batch_run_rounds_per_sec
-        / scalar_run_rounds_per_sec,
-        "platform": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
-    }
+    )
 
 
 def main() -> None:
@@ -203,8 +206,8 @@ def main() -> None:
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     print(
-        f"\nbatch throughput is {result['speedup_batch_vs_scalar']:.1f}x the "
-        f"scalar engine on {result['scenario']['graph']} with "
+        f"\nbatch throughput is {result['speedups']['batch_vs_scalar']:.1f}x "
+        f"the scalar engine on {result['scenario']['graph']} with "
         f"B={result['scenario']['batch']}"
     )
 

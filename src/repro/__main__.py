@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro`` dispatches to :mod:`repro.cli`."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,243 @@
+"""``repro`` — the one-command reproduction CLI.
+
+Three subcommands over the experiment registry (:mod:`repro.sweeps`):
+
+* ``repro list`` — every registered experiment with its paper section,
+  engine, default grid size and one-line description;
+* ``repro run <experiment>`` — plan, shard and execute a sweep (optionally
+  across ``--workers N`` processes), persisting a resumable run under the
+  results store and printing the aggregate table;
+* ``repro report <run>`` — re-open a stored run (by run id or path) and
+  print its manifest summary and rows.
+
+Invoke as ``python -m repro ...`` from the source tree (with
+``PYTHONPATH=src``) or as the ``repro`` console script after ``pip install
+-e .``.  Full reference: ``docs/cli.md``; experiment ↔ paper map:
+``docs/experiments.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import InvalidParameterError, ReproError
+from repro.experiments.reporting import format_table
+from repro.sweeps.orchestrator import DEFAULT_RESULTS_ROOT, run_sweep
+from repro.sweeps.registry import all_experiments
+from repro.sweeps.store import RunStore
+
+#: Rows printed by ``repro run`` / ``repro report`` before truncation.
+DEFAULT_ROW_LIMIT = 40
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with its three subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__.splitlines()[0],
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list every registered experiment"
+    )
+    list_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print each experiment's claim and default grid",
+    )
+
+    run_parser = subparsers.add_parser(
+        "run", help="execute one experiment's (possibly overridden) grid"
+    )
+    run_parser.add_argument("experiment", help="registered experiment name")
+    run_parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1[,V2...]",
+        help="override one grid parameter (repeatable)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default 1)"
+    )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: one shard per grid cell)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=0, help="root seed for SeedSequence.spawn"
+    )
+    run_parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=DEFAULT_RESULTS_ROOT,
+        help="results store root (default: results/)",
+    )
+    run_parser.add_argument(
+        "--run-id",
+        default=None,
+        help="run directory name (default: <experiment>-<fingerprint>)",
+    )
+    run_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompute every shard even if its result file exists",
+    )
+    run_parser.add_argument(
+        "--limit",
+        type=int,
+        default=DEFAULT_ROW_LIMIT,
+        help=f"max aggregate rows to print (default {DEFAULT_ROW_LIMIT})",
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress and row output"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="print a stored run's manifest and rows"
+    )
+    report_parser.add_argument(
+        "run", help="run id under the results store, or a run directory path"
+    )
+    report_parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=DEFAULT_RESULTS_ROOT,
+        help="results store root used to resolve run ids (default: results/)",
+    )
+    report_parser.add_argument(
+        "--limit",
+        type=int,
+        default=DEFAULT_ROW_LIMIT,
+        help=f"max rows to print (default {DEFAULT_ROW_LIMIT})",
+    )
+    return parser
+
+
+def _print_rows(rows: Sequence[dict], limit: int) -> None:
+    """Print rows as an aligned table, truncated to ``limit``."""
+    if not rows:
+        print("(no rows)")
+        return
+    shown = rows[: max(limit, 0)]
+    if shown:
+        print(format_table(shown))
+    hidden = len(rows) - len(shown)
+    if hidden > 0:
+        print(f"... {hidden} more row(s) not shown (use --limit)")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """Implement ``repro list``."""
+    rows = []
+    for name, spec in all_experiments().items():
+        rows.append(
+            {
+                "experiment": name,
+                "paper_section": spec.paper_section,
+                "engine": spec.engine,
+                "cells": spec.default_cell_count,
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows))
+    if args.verbose:
+        for name, spec in all_experiments().items():
+            print(f"\n{name}: {spec.claim}")
+            for key, values in spec.grid.items():
+                print(f"  --grid {key}= default {list(values)!r}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Implement ``repro run``."""
+    echo = None if args.quiet else print
+    result = run_sweep(
+        args.experiment,
+        grid_overrides=args.grid,
+        workers=args.workers,
+        shards=args.shards,
+        seed=args.seed,
+        results_root=args.results_dir,
+        run_id=args.run_id,
+        resume=not args.no_resume,
+        echo=echo,
+    )
+    if not args.quiet:
+        print()
+        _print_rows(result.rows, args.limit)
+        print(
+            f"\nrun {result.run_id!r} complete: {len(result.rows)} rows, "
+            f"manifest {result.run_dir / 'manifest.json'}"
+        )
+    return 0
+
+
+def _resolve_run_dir(run: str, results_root: Path) -> Path:
+    """Resolve a run argument: a directory path, or a run id under the root."""
+    as_path = Path(run)
+    if as_path.is_dir():
+        return as_path
+    candidate = results_root / run
+    if candidate.is_dir():
+        return candidate
+    raise InvalidParameterError(
+        f"no run directory at {as_path} or {candidate}; "
+        "pass a run id from the results store or a path"
+    )
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Implement ``repro report``."""
+    store = RunStore(_resolve_run_dir(args.run, args.results_dir))
+    manifest = store.read_manifest()
+    if manifest is None:
+        raise InvalidParameterError(f"{store.run_dir} has no manifest.json")
+    print(f"run:            {manifest.get('run_id')}")
+    print(f"experiment:     {manifest.get('experiment')}")
+    print(f"paper section:  {manifest.get('paper_section')}")
+    print(f"engine:         {manifest.get('engine')}")
+    print(f"status:         {manifest.get('status')}")
+    print(
+        f"cells/shards:   {manifest.get('num_cells')} cells in "
+        f"{manifest.get('num_shards')} shards "
+        f"({len(manifest.get('completed_shards', []))} complete)"
+    )
+    print(f"seed:           {manifest.get('seed')}")
+    grid = manifest.get("grid", {})
+    for key, values in grid.items():
+        print(f"{'grid ' + key + ':':<16}{values}")
+    provenance = manifest.get("provenance", {})
+    print(
+        f"provenance:     python {provenance.get('python')}, "
+        f"numpy {provenance.get('numpy')}, git {provenance.get('git_sha')}"
+    )
+    aggregate = store.read_aggregate()
+    print()
+    if aggregate is None:
+        print("(no aggregate yet — the run is incomplete; rerun `repro run`)")
+        return 0
+    _print_rows(aggregate.get("rows", []), args.limit)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "report": cmd_report}
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

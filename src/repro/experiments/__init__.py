@@ -4,6 +4,7 @@ dictionaries) so that the benchmark harness can both time them and assert the
 qualitative shape the paper reports, while the examples print them."""
 
 from repro.experiments.ablation import (
+    ablation_cell,
     ablation_summary,
     algorithm_ablation,
     default_ablation_graphs,
@@ -11,27 +12,32 @@ from repro.experiments.ablation import (
 )
 from repro.experiments.asynchronous import (
     async_condition_sweep,
+    asynchronous_cell,
     async_simulation_study,
     async_sweep,
 )
 from repro.experiments.checker import (
     checker_agreement_study,
+    checker_cell,
     checker_scaling_cases,
     checker_test_battery,
     exhaustive_checker_workload,
 )
 from repro.experiments.convergence_rate import (
+    convergence_rate_cell,
     convergence_rate_study,
     convergence_rate_sweep,
     default_rate_cases,
 )
 from repro.experiments.corollaries import (
+    corollaries_cell,
     corollary2_sweep,
     corollary3_edge_removal,
     low_in_degree_always_fails,
 )
 from repro.experiments.families import (
     chord_case_studies,
+    families_cell,
     chord_feasibility_sweep,
     core_network_batch_sweep,
     core_network_minimality_comparison,
@@ -40,7 +46,9 @@ from repro.experiments.families import (
 )
 from repro.experiments.necessity import (
     NecessityDemonstration,
+    default_necessity_cases,
     demonstrate_necessity,
+    necessity_cell,
     necessity_rows,
 )
 from repro.experiments.reporting import (
@@ -48,48 +56,63 @@ from repro.experiments.reporting import (
     print_table,
     summarize_booleans,
 )
-from repro.experiments.robustness import default_robustness_cases, robustness_comparison
+from repro.experiments.robustness import (
+    default_robustness_cases,
+    robustness_cell,
+    robustness_comparison,
+)
 from repro.experiments.validity import (
     adversary_zoo,
     count_validity_failures,
     default_validity_graphs,
+    validity_cell,
     validity_study,
 )
 
 __all__ = [
+    "ablation_cell",
     "ablation_summary",
     "algorithm_ablation",
     "default_ablation_graphs",
     "rule_zoo",
     "async_condition_sweep",
+    "asynchronous_cell",
     "async_simulation_study",
     "async_sweep",
     "checker_agreement_study",
+    "checker_cell",
     "checker_scaling_cases",
     "checker_test_battery",
     "exhaustive_checker_workload",
+    "convergence_rate_cell",
     "convergence_rate_study",
     "convergence_rate_sweep",
     "default_rate_cases",
+    "corollaries_cell",
     "corollary2_sweep",
     "corollary3_edge_removal",
     "low_in_degree_always_fails",
     "chord_case_studies",
+    "families_cell",
     "chord_feasibility_sweep",
     "core_network_batch_sweep",
     "core_network_minimality_comparison",
     "core_network_study",
     "hypercube_study",
     "NecessityDemonstration",
+    "default_necessity_cases",
     "demonstrate_necessity",
+    "necessity_cell",
     "necessity_rows",
     "format_table",
     "print_table",
     "summarize_booleans",
     "default_robustness_cases",
+    "robustness_cell",
     "robustness_comparison",
     "adversary_zoo",
     "count_validity_failures",
     "default_validity_graphs",
+    "validity_cell",
     "validity_study",
 ]

@@ -24,6 +24,7 @@ from repro.graphs.digraph import Digraph
 from repro.graphs.generators import complete_graph, core_network
 from repro.simulation.engine import run_synchronous
 from repro.simulation.inputs import linear_ramp_inputs
+from repro.sweeps.registry import register_experiment, select_labelled_case
 
 
 def default_ablation_graphs() -> list[tuple[str, Digraph, int]]:
@@ -125,3 +126,27 @@ def ablation_summary(rows: list[dict[str, object]]) -> list[dict[str, object]]:
         }
         for rule, counts in sorted(by_rule.items())
     ]
+
+
+@register_experiment(
+    name="ablation",
+    paper_section="Algorithm 1 vs alternative update rules (E12)",
+    claim=(
+        "Trimmed mean and W-MSR stay valid and converge under attack; the "
+        "non-fault-tolerant linear average is dragged out of the input hull."
+    ),
+    engine="scalar-sync",
+    grid={
+        "graph": tuple(label for label, _, _ in default_ablation_graphs()),
+        "rounds": (150,),
+        "tolerance": (1e-6,),
+    },
+)
+def ablation_cell(
+    graph: str, rounds: int = 150, tolerance: float = 1e-6
+) -> list[dict[str, object]]:
+    """Registry cell for E12: the whole rule zoo under both adversaries."""
+    matching = select_labelled_case(
+        graph, default_ablation_graphs(), "ablation graph"
+    )
+    return algorithm_ablation(graphs=matching, rounds=rounds, tolerance=tolerance)

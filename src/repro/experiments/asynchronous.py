@@ -44,6 +44,7 @@ from repro.simulation.vectorized_async import (
     VectorizedAsyncEngine,
     run_vectorized_async,
 )
+from repro.sweeps.registry import register_experiment, select_labelled_case
 
 
 def async_condition_sweep(
@@ -208,3 +209,41 @@ def async_sweep(
                     }
                 )
     return rows
+
+
+@register_experiment(
+    name="asynchronous",
+    paper_section="Section 7 (E9)",
+    claim=(
+        "Bounded message delays and sporadic activation slow but do not "
+        "break convergence on graphs satisfying the asynchronous condition."
+    ),
+    engine="vectorized-async",
+    grid={
+        "case": tuple(label for label, _, _ in _default_cases()),
+        "max_delay": (0, 1, 3),
+        "update_probability": (1.0, 0.75),
+        "batch": (32,),
+        "rounds": (600,),
+        "tolerance": (1e-5,),
+    },
+)
+def asynchronous_cell(
+    case: str,
+    max_delay: int = 1,
+    update_probability: float = 1.0,
+    batch: int = 32,
+    rounds: int = 600,
+    tolerance: float = 1e-5,
+    seed: int = 23,
+) -> list[dict[str, object]]:
+    """Registry cell for E9: one Monte-Carlo cell of the asynchronous sweep."""
+    return async_sweep(
+        cases=select_labelled_case(case, _default_cases(), "asynchronous case"),
+        delays=[max_delay],
+        update_probabilities=[update_probability],
+        batch=batch,
+        rounds=rounds,
+        tolerance=tolerance,
+        seed=seed,
+    )

@@ -36,6 +36,7 @@ from repro.graphs.generators import (
     undirected_ring,
 )
 from repro.graphs.random_graphs import erdos_renyi_digraph, k_in_regular_digraph
+from repro.sweeps.registry import register_experiment, select_labelled_case
 
 
 def checker_test_battery(seed: int = 17) -> list[tuple[str, Digraph, int]]:
@@ -141,3 +142,26 @@ def exhaustive_checker_workload(case: tuple[str, Digraph, int]) -> bool:
     """Benchmark payload: run the full feasibility pipeline on one case."""
     _, graph, f = case
     return check_feasibility(graph, f, use_structural_shortcuts=False).satisfied
+
+
+@register_experiment(
+    name="checker",
+    paper_section="Theorem-1 checker toolchain (E10)",
+    claim=(
+        "Screens and heuristic witness searches never contradict the "
+        "exhaustive Theorem-1 checker in the disallowed direction."
+    ),
+    engine="checker",
+    grid={
+        "case": tuple(label for label, _, _ in checker_test_battery()),
+        "random_attempts": (300,),
+    },
+)
+def checker_cell(
+    case: str, random_attempts: int = 300, seed: int = 29
+) -> list[dict[str, object]]:
+    """Registry cell for E10: the checker-agreement study on one battery graph."""
+    matching = select_labelled_case(case, checker_test_battery(), "checker case")
+    return checker_agreement_study(
+        battery=matching, random_attempts=random_attempts, seed=seed
+    )

@@ -24,6 +24,7 @@ from repro.graphs.generators import complete_graph, core_network
 from repro.graphs.properties import minimum_in_degree
 from repro.simulation.engine import run_synchronous
 from repro.simulation.inputs import linear_ramp_inputs
+from repro.sweeps.registry import register_experiment
 
 
 def corollary2_sweep(
@@ -130,3 +131,22 @@ def low_in_degree_always_fails(graph: Digraph, f: int) -> bool:
     if passes_in_degree_screen(graph, f):
         return True
     return not check_feasibility(graph, f, use_structural_shortcuts=False).satisfied
+
+
+@register_experiment(
+    name="corollaries",
+    paper_section="Section 3, Corollaries 2-3 (E2-E3)",
+    claim=(
+        "Over complete graphs the condition flips exactly at n = 3f + 1, and "
+        "a node of in-degree <= 2f always makes it fail."
+    ),
+    engine="scalar-sync",
+    grid={"corollary": (2, 3), "f": (1, 2)},
+)
+def corollaries_cell(corollary: int, f: int) -> list[dict[str, object]]:
+    """Registry cell for E2-E3: one corollary sweep for one fault budget."""
+    if corollary == 2:
+        return corollary2_sweep(f)
+    if corollary == 3:
+        return corollary3_edge_removal(f)
+    raise InvalidParameterError(f"corollary must be 2 or 3, got {corollary!r}")

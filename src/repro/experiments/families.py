@@ -44,6 +44,7 @@ from repro.graphs.properties import (
 from repro.simulation.engine import SimulationConfig
 from repro.simulation.inputs import bimodal_inputs, uniform_random_inputs
 from repro.simulation.vectorized import BatchRunner, run_vectorized
+from repro.sweeps.registry import register_experiment
 
 
 # ---------------------------------------------------------------------------
@@ -304,3 +305,47 @@ def chord_feasibility_sweep(
                 }
             )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Registry entry point (E4–E6 as one sharded sweep over the studies)
+# ---------------------------------------------------------------------------
+FAMILY_STUDIES = (
+    "core",
+    "core-batch",
+    "minimality",
+    "hypercube",
+    "chord-cases",
+    "chord-sweep",
+)
+
+
+@register_experiment(
+    name="families",
+    paper_section="Section 6.1-6.3 (E4-E6)",
+    claim=(
+        "Core networks are feasible and near edge-minimal, hypercubes fail "
+        "the condition for every f >= 1, and the chord family reproduces the "
+        "paper's three verdicts."
+    ),
+    engine="mixed",
+    grid={"study": FAMILY_STUDIES},
+)
+def families_cell(study: str, seed: int = 7) -> list[dict[str, object]]:
+    """Registry cell for E4-E6: one Section-6 family study per cell."""
+    if study == "core":
+        return core_network_study(seed=seed)
+    if study == "core-batch":
+        return core_network_batch_sweep(seed=seed)
+    if study == "minimality":
+        return core_network_minimality_comparison()
+    if study == "hypercube":
+        return hypercube_study()
+    if study == "chord-cases":
+        return chord_case_studies()
+    if study == "chord-sweep":
+        return chord_feasibility_sweep()
+    raise InvalidParameterError(
+        f"unknown family study {study!r}; known studies: "
+        + ", ".join(FAMILY_STUDIES)
+    )

@@ -24,10 +24,16 @@ from repro.adversary.strategies import SplitBrainStrategy
 from repro.algorithms.base import UpdateRule
 from repro.algorithms.trimmed_mean import TrimmedMeanRule
 from repro.conditions.necessary import find_violating_partition, verify_witness
+from repro.conditions.witnesses import (
+    chord_n7_f2_witness,
+    hypercube_dimension_cut_witness,
+)
 from repro.exceptions import InvalidParameterError
 from repro.graphs.digraph import Digraph
+from repro.graphs.generators import chord_network, hypercube, undirected_ring
 from repro.simulation.engine import run_synchronous
 from repro.simulation.inputs import split_inputs_from_witness
+from repro.sweeps.registry import register_experiment, select_labelled_case
 from repro.types import ConsensusOutcome, PartitionWitness
 
 
@@ -146,3 +152,37 @@ def necessity_rows(
             }
         )
     return rows
+
+
+def default_necessity_cases() -> list[tuple[str, Digraph, int, PartitionWitness | None]]:
+    """Labelled condition-violating graphs for the registered E1 sweep.
+
+    The chord and hypercube entries carry the paper's explicit witnesses;
+    the ring entry lets the exhaustive checker find one.
+    """
+    return [
+        ("chord n=7 f=2", chord_network(7, 2), 2, chord_n7_f2_witness()),
+        ("hypercube d=3 f=1", hypercube(3), 1, hypercube_dimension_cut_witness(3)),
+        ("ring n=6 f=1", undirected_ring(6), 1, None),
+    ]
+
+
+@register_experiment(
+    name="necessity",
+    paper_section="Section 3, Theorem 1 necessity (E1)",
+    claim=(
+        "On condition-violating graphs the split-brain adversary pins the "
+        "two partition sides apart forever while validity still holds."
+    ),
+    engine="scalar-sync",
+    grid={
+        "case": ("chord n=7 f=2", "hypercube d=3 f=1", "ring n=6 f=1"),
+        "rounds": (50,),
+    },
+)
+def necessity_cell(case: str, rounds: int = 50) -> list[dict[str, object]]:
+    """Registry cell for E1: mount the necessity attack on one violating graph."""
+    matching = select_labelled_case(
+        case, default_necessity_cases(), "necessity case"
+    )
+    return necessity_rows(matching, rounds=rounds)

@@ -21,6 +21,7 @@ from repro.graphs.generators import (
     hypercube,
     undirected_ring,
 )
+from repro.sweeps.registry import register_experiment, select_labelled_case
 
 
 def default_robustness_cases() -> list[tuple[str, Digraph, int]]:
@@ -67,3 +68,21 @@ def robustness_comparison(
             }
         )
     return rows
+
+
+@register_experiment(
+    name="robustness",
+    paper_section="Related work: (r, s)-robustness (E11)",
+    claim=(
+        "The Theorem-1 verdict coincides with (f+1, f+1)-robustness on the "
+        "paper's graph families."
+    ),
+    engine="checker",
+    grid={"case": tuple(label for label, _, _ in default_robustness_cases())},
+)
+def robustness_cell(case: str) -> list[dict[str, object]]:
+    """Registry cell for E11: Theorem 1 vs robustness notions on one graph."""
+    matching = select_labelled_case(
+        case, default_robustness_cases(), "robustness case"
+    )
+    return robustness_comparison(cases=matching)

@@ -27,6 +27,7 @@ from repro.graphs.digraph import Digraph
 from repro.graphs.generators import chord_network, complete_graph, core_network
 from repro.simulation.engine import run_synchronous
 from repro.simulation.inputs import uniform_random_inputs
+from repro.sweeps.registry import register_experiment, select_labelled_case
 from repro.types import NodeId
 
 
@@ -114,3 +115,26 @@ def count_validity_failures(
     relevant = [row for row in rows if row["rule"] == rule_name]
     failures = sum(1 for row in relevant if not row["validity_ok"])
     return failures, len(relevant)
+
+
+@register_experiment(
+    name="validity",
+    paper_section="Section 4, Theorem 2 (E8)",
+    claim=(
+        "Algorithm 1 and W-MSR never let the fault-free interval expand "
+        "under any adversary in the zoo; the plain average does."
+    ),
+    engine="scalar-sync",
+    grid={
+        "graph": tuple(label for label, _, _ in default_validity_graphs()),
+        "rounds": (80,),
+    },
+)
+def validity_cell(
+    graph: str, rounds: int = 80, seed: int = 5
+) -> list[dict[str, object]]:
+    """Registry cell for E8: the full rule x adversary cross on one graph."""
+    matching = select_labelled_case(
+        graph, default_validity_graphs(), "validity graph"
+    )
+    return validity_study(graphs=matching, rounds=rounds, seed=seed)

@@ -20,7 +20,13 @@ from repro.graphs.digraph import Digraph
 from repro.simulation.async_engine import run_partially_asynchronous
 from repro.simulation.engine import run_synchronous
 from repro.simulation.inputs import uniform_random_inputs
+from repro.simulation.vectorized import run_vectorized
+from repro.simulation.vectorized_async import run_vectorized_async
 from repro.types import ConsensusOutcome, NodeId, ValueMap
+
+#: Engine names accepted by :func:`run_consensus`: the faithful dict-based
+#: reference engines, or the NumPy engines that are bit-exact with them.
+ENGINE_CHOICES = ("scalar", "vectorized")
 
 
 def run_consensus(
@@ -36,6 +42,7 @@ def run_consensus(
     tolerance: float = 1e-7,
     record_history: bool = True,
     seed: int | None = 0,
+    engine: str = "scalar",
 ) -> ConsensusOutcome:
     """Run one iterative approximate Byzantine consensus execution.
 
@@ -69,6 +76,12 @@ def run_consensus(
     seed:
         Seed controlling every default random choice (inputs, fault set,
         asynchronous delays).  ``None`` derives entropy from the OS.
+    engine:
+        ``"scalar"`` (default) runs the faithful dict-based reference
+        engines; ``"vectorized"`` routes the same execution through the
+        NumPy engines (:func:`~repro.simulation.vectorized.run_vectorized` /
+        :func:`~repro.simulation.vectorized_async.run_vectorized_async`),
+        which are bit-exact with the reference for the rules they support.
 
     Returns
     -------
@@ -78,6 +91,10 @@ def run_consensus(
     """
     if f < 0:
         raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if engine not in ENGINE_CHOICES:
+        raise InvalidParameterError(
+            f"engine must be one of {ENGINE_CHOICES}, got {engine!r}"
+        )
     rng = np.random.default_rng(seed)
     chosen_rule = rule if rule is not None else TrimmedMeanRule(f)
     if chosen_rule.f != f:
@@ -100,6 +117,30 @@ def run_consensus(
     if chosen_adversary is None and chosen_faulty:
         chosen_adversary = ExtremePushStrategy(delta=1.0)
 
+    if engine == "vectorized":
+        if synchronous:
+            return run_vectorized(
+                graph=graph,
+                rule=chosen_rule,
+                inputs=chosen_inputs,
+                faulty=chosen_faulty,
+                adversary=chosen_adversary,
+                max_rounds=max_rounds,
+                tolerance=tolerance,
+                record_history=record_history,
+            )
+        return run_vectorized_async(
+            graph=graph,
+            rule=chosen_rule,
+            inputs=chosen_inputs,
+            faulty=chosen_faulty,
+            adversary=chosen_adversary,
+            max_delay=max_delay,
+            max_rounds=max_rounds,
+            tolerance=tolerance,
+            record_history=record_history,
+            rng=rng,
+        )
     if synchronous:
         return run_synchronous(
             graph=graph,

@@ -1,0 +1,372 @@
+"""The sharded sweep orchestrator.
+
+A sweep is planned deterministically from ``(experiment, grid, seed,
+num_shards)``:
+
+1. the grid expands into an ordered cell list (:func:`repro.sweeps.grid.expand_grid`);
+2. the run's root ``numpy.random.SeedSequence`` spawns one child per cell —
+   cell ``i`` always receives child ``i``, so its seed depends only on the
+   root seed and its position, never on which worker executes it;
+3. cells are split into ``num_shards`` contiguous, balanced shards (by
+   default one cell per shard, the finest resume granularity).
+
+Execution fans the pending shards across ``multiprocessing`` workers; each
+worker rebuilds the plan from the same inputs (no pickled graphs or engines
+cross the process boundary) and runs its cells in order.  Aggregation sorts
+rows by cell index, so the aggregate is **bit-identical** for any worker
+count — enforced by ``tests/test_sweeps.py``.  Completed shards persist as
+JSON files in the run directory (:class:`repro.sweeps.store.RunStore`) and
+are skipped on resume.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sweeps.grid import apply_overrides, expand_grid, grid_fingerprint
+from repro.sweeps.provenance import RUN_SCHEMA_VERSION, machine_provenance
+from repro.sweeps.registry import ExperimentSpec, get_experiment
+from repro.sweeps.store import RunStore
+
+#: Default root directory of the results store.
+DEFAULT_RESULTS_ROOT = Path("results")
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """Deterministic description of one sweep run.
+
+    Everything downstream (shard layout, per-cell seeds, the run id) is a
+    pure function of ``(experiment, grid, seed, num_shards)``; two plans
+    built from the same inputs are identical in every field.
+    """
+
+    experiment: str
+    grid: Mapping[str, tuple]
+    cells: tuple[dict[str, object], ...]
+    cell_seeds: tuple[int, ...]
+    shards: tuple[tuple[int, ...], ...]
+    seed: int
+    fingerprint: str
+    run_id: str
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of :func:`run_sweep`: where the run lives and its rows."""
+
+    run_id: str
+    run_dir: Path
+    manifest: dict[str, object]
+    rows: list[dict[str, object]]
+
+
+def _split_shards(num_cells: int, num_shards: int) -> tuple[tuple[int, ...], ...]:
+    """Split ``range(num_cells)`` into ``num_shards`` contiguous balanced chunks."""
+    base, extra = divmod(num_cells, num_shards)
+    shards: list[tuple[int, ...]] = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(tuple(range(start, start + size)))
+        start += size
+    return tuple(shards)
+
+
+def _spawn_cell_seeds(seed: int, num_cells: int) -> tuple[int, ...]:
+    """Derive one deterministic seed per cell via ``SeedSequence.spawn``."""
+    if num_cells == 0:
+        return ()
+    children = np.random.SeedSequence(seed).spawn(num_cells)
+    return tuple(int(child.generate_state(1)[0]) for child in children)
+
+
+def plan_from_grid(
+    name: str,
+    grid: Mapping[str, Sequence[object]],
+    seed: int = 0,
+    shards: int | None = None,
+    run_id: str | None = None,
+) -> SweepPlan:
+    """Build a :class:`SweepPlan` from an already-effective grid."""
+    spec = get_experiment(name)
+    effective = {str(key): tuple(values) for key, values in grid.items()}
+    cells = expand_grid(effective)
+    num_shards = len(cells) if shards is None else shards
+    if num_shards < 1:
+        raise InvalidParameterError(f"shards must be >= 1, got {num_shards}")
+    num_shards = min(num_shards, len(cells))
+    fingerprint = grid_fingerprint(name, effective, seed, num_shards)
+    return SweepPlan(
+        experiment=spec.name,
+        grid=effective,
+        cells=tuple(cells),
+        cell_seeds=_spawn_cell_seeds(seed, len(cells)),
+        shards=_split_shards(len(cells), num_shards),
+        seed=seed,
+        fingerprint=fingerprint,
+        run_id=run_id or f"{spec.name}-{fingerprint[:10]}",
+    )
+
+
+def plan_sweep(
+    name: str,
+    grid_overrides: Sequence[str] = (),
+    seed: int = 0,
+    shards: int | None = None,
+    run_id: str | None = None,
+) -> SweepPlan:
+    """Plan a sweep of experiment ``name`` with CLI-style grid overrides."""
+    spec = get_experiment(name)
+    extra = ("seed",) if spec.accepts_seed else ()
+    grid = apply_overrides(spec.grid, grid_overrides, extra_allowed=extra)
+    return plan_from_grid(name, grid, seed=seed, shards=shards, run_id=run_id)
+
+
+def _cell_params(spec: ExperimentSpec, plan: SweepPlan, cell_index: int) -> dict:
+    """Return the runner kwargs for one cell (with the injected seed, if any)."""
+    params = dict(plan.cells[cell_index])
+    if spec.accepts_seed and "seed" not in params:
+        params["seed"] = plan.cell_seeds[cell_index]
+    return params
+
+
+def execute_shard(plan: SweepPlan, shard_index: int) -> dict[str, object]:
+    """Run every cell of one shard and return the shard payload.
+
+    The payload is self-describing (fingerprint, cell indices, per-cell
+    parameters and rows) so a shard file can be validated and aggregated
+    without re-deriving anything.
+    """
+    spec = get_experiment(plan.experiment)
+    cells_out: list[dict[str, object]] = []
+    for cell_index in plan.shards[shard_index]:
+        params = _cell_params(spec, plan, cell_index)
+        rows = spec.runner(**params)
+        cells_out.append(
+            {
+                "cell_index": cell_index,
+                "params": params,
+                "rows": [dict(row) for row in rows],
+            }
+        )
+    return {
+        "schema_version": RUN_SCHEMA_VERSION,
+        "experiment": plan.experiment,
+        "fingerprint": plan.fingerprint,
+        "shard_index": shard_index,
+        "cell_indices": list(plan.shards[shard_index]),
+        "cells": cells_out,
+    }
+
+
+def _shard_task(
+    task: tuple[str, tuple[tuple[str, tuple], ...], int, int, int]
+) -> tuple[int, dict[str, object]]:
+    """Worker entry point: rebuild the plan and execute one shard.
+
+    Workers receive only JSON-level scalars (experiment name, grid items,
+    seed, shard count, shard index) and rebuild the identical plan locally,
+    so results cannot depend on pickling details or on the parent's state.
+    """
+    name, grid_items, seed, num_shards, shard_index = task
+    plan = plan_from_grid(name, dict(grid_items), seed=seed, shards=num_shards)
+    return shard_index, execute_shard(plan, shard_index)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (inherits ``sys.path``, cheap) and fall back to ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _utc_now() -> str:
+    """Current UTC time as an ISO-8601 string."""
+    return _datetime.datetime.now(_datetime.timezone.utc).isoformat(timespec="seconds")
+
+
+def _build_manifest(
+    spec: ExperimentSpec, plan: SweepPlan, status: str, completed: Iterable[int]
+) -> dict[str, object]:
+    """Assemble the manifest document for the current run state."""
+    return {
+        "schema_version": RUN_SCHEMA_VERSION,
+        "experiment": plan.experiment,
+        "paper_section": spec.paper_section,
+        "claim": spec.claim,
+        "engine": spec.engine,
+        "run_id": plan.run_id,
+        "fingerprint": plan.fingerprint,
+        "seed": plan.seed,
+        "grid": {key: list(values) for key, values in plan.grid.items()},
+        "num_cells": len(plan.cells),
+        "cells": [dict(cell) for cell in plan.cells],
+        "cell_seeds": list(plan.cell_seeds),
+        "num_shards": len(plan.shards),
+        "shards": [list(shard) for shard in plan.shards],
+        "completed_shards": sorted(completed),
+        "status": status,
+        "updated_at": _utc_now(),
+        "provenance": machine_provenance(),
+    }
+
+
+def aggregate_rows(
+    plan: SweepPlan, payloads: Mapping[int, Mapping[str, object]]
+) -> list[dict[str, object]]:
+    """Merge shard payloads into the flat row list, in cell order.
+
+    Each output row is the cell's parameters, then the driver's row (driver
+    keys win on collision — they carry the same values anyway), then the
+    bookkeeping ``cell_index``.  Because cells are totally ordered, the
+    result is independent of shard completion order and worker count.
+    """
+    rows: list[dict[str, object]] = []
+    for shard_index, shard in enumerate(plan.shards):
+        payload = payloads.get(shard_index)
+        if payload is None:
+            raise InvalidParameterError(
+                f"shard {shard_index} missing from the run; the run directory "
+                "was modified concurrently"
+            )
+        for cell in payload["cells"]:
+            merged_params = dict(cell["params"])
+            for row in cell["rows"]:
+                rows.append(
+                    {**merged_params, **row, "cell_index": cell["cell_index"]}
+                )
+        if list(shard) != list(payload["cell_indices"]):
+            raise InvalidParameterError(
+                f"shard {shard_index} payload does not match the plan "
+                "(cell indices differ); the run directory is stale"
+            )
+    return rows
+
+
+def run_sweep(
+    name: str,
+    grid_overrides: Sequence[str] = (),
+    workers: int = 1,
+    shards: int | None = None,
+    seed: int = 0,
+    results_root: Path | str = DEFAULT_RESULTS_ROOT,
+    run_id: str | None = None,
+    resume: bool = True,
+    echo: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Plan, execute (sharded, optionally multi-process) and persist a sweep.
+
+    Parameters
+    ----------
+    name:
+        Registered experiment name (see ``repro list``).
+    grid_overrides:
+        CLI-style ``key=v1,v2`` strings narrowing/overriding the default grid.
+    workers:
+        Process count; ``1`` runs in-process.  Aggregates are bit-identical
+        for any value.
+    shards:
+        Shard count (default: one shard per cell — finest resume unit).
+    seed:
+        Root seed; per-cell seeds are spawned from it via ``SeedSequence``.
+    results_root, run_id:
+        Where the run directory lives and what it is called (default id:
+        ``<experiment>-<fingerprint prefix>``).
+    resume:
+        Skip shards whose result files already exist (the default); pass
+        ``False`` to recompute everything in place.
+    echo:
+        Optional progress sink (e.g. ``print``).
+
+    Returns
+    -------
+    SweepResult
+        The run id/directory, the final manifest and the aggregated rows.
+    """
+    if workers < 1:
+        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+    spec = get_experiment(name)
+    plan = plan_sweep(name, grid_overrides, seed=seed, shards=shards, run_id=run_id)
+    say = echo if echo is not None else (lambda message: None)
+
+    store = RunStore(Path(results_root) / plan.run_id)
+    existing = store.read_manifest()
+    if existing is not None and existing.get("fingerprint") != plan.fingerprint:
+        raise InvalidParameterError(
+            f"run directory {store.run_dir} holds a different sweep "
+            f"(fingerprint {existing.get('fingerprint')!r}); choose another "
+            "--run-id or delete it"
+        )
+
+    # One pass over the run directory fills the payload cache; everything
+    # downstream (manifest progress, aggregation) reuses it instead of
+    # re-reading shard files.
+    payloads: dict[int, dict[str, object]] = {}
+    if resume:
+        for index in range(len(plan.shards)):
+            payload = store.read_shard(index, fingerprint=plan.fingerprint)
+            if payload is not None:
+                payloads[index] = payload
+    pending = [
+        index for index in range(len(plan.shards)) if index not in payloads
+    ]
+    store.write_manifest(_build_manifest(spec, plan, "running", payloads))
+    say(
+        f"{plan.experiment}: {len(plan.cells)} cells in {len(plan.shards)} shards "
+        f"({len(payloads)} already complete, {len(pending)} to run, "
+        f"workers={workers}) -> {store.run_dir}"
+    )
+
+    def record(shard_index: int, payload: dict[str, object]) -> None:
+        store.write_shard(shard_index, payload)
+        payloads[shard_index] = payload
+        # Refresh the manifest after every shard so an interrupted run
+        # reports its true progress.
+        store.write_manifest(_build_manifest(spec, plan, "running", payloads))
+        say(
+            f"  shard {shard_index:04d} done "
+            f"({len(payload['cell_indices'])} cells)"
+        )
+
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            for shard_index in pending:
+                record(shard_index, execute_shard(plan, shard_index))
+        else:
+            grid_items = tuple(
+                (key, tuple(values)) for key, values in plan.grid.items()
+            )
+            tasks = [
+                (plan.experiment, grid_items, plan.seed, len(plan.shards), index)
+                for index in pending
+            ]
+            context = _pool_context()
+            with context.Pool(processes=min(workers, len(pending))) as pool:
+                for shard_index, payload in pool.imap_unordered(_shard_task, tasks):
+                    record(shard_index, payload)
+
+    rows = aggregate_rows(plan, payloads)
+    manifest = _build_manifest(spec, plan, "complete", range(len(plan.shards)))
+    manifest["row_count"] = len(rows)
+    store.write_aggregate(
+        rows,
+        header={
+            "experiment": plan.experiment,
+            "run_id": plan.run_id,
+            "fingerprint": plan.fingerprint,
+            "paper_section": spec.paper_section,
+            "engine": spec.engine,
+        },
+    )
+    store.write_manifest(manifest)
+    say(f"  aggregate: {len(rows)} rows -> {store.aggregate_path}")
+    return SweepResult(
+        run_id=plan.run_id, run_dir=store.run_dir, manifest=manifest, rows=rows
+    )

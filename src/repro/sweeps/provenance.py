@@ -1,0 +1,77 @@
+"""Machine and repository provenance for run manifests and benchmark files.
+
+Every sweep manifest and every ``BENCH_*.json`` records where its numbers
+came from: interpreter and NumPy versions, machine architecture, and the git
+revision of the working tree (when available).  The benchmark scripts also
+share :func:`bench_payload` so both files follow one schema — documented in
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+#: Schema version of the unified ``BENCH_*.json`` layout.
+BENCH_SCHEMA_VERSION = 2
+
+#: Schema version of sweep run manifests / shard files under ``results/``.
+RUN_SCHEMA_VERSION = 1
+
+
+def git_revision(cwd: Path | str | None = None) -> str | None:
+    """Return the current git commit sha, or ``None`` outside a repository."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def machine_provenance() -> dict[str, object]:
+    """Return the provenance block stamped into manifests and BENCH files."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "git_sha": git_revision(Path(__file__).resolve().parent),
+    }
+
+
+def bench_payload(
+    benchmark: str,
+    scenario: Mapping[str, object],
+    results: Mapping[str, object],
+    speedups: Mapping[str, float],
+) -> dict[str, object]:
+    """Assemble the unified ``BENCH_*.json`` payload (schema v2).
+
+    ``benchmark`` names the harness (``engine-sync`` / ``engine-async``),
+    ``scenario`` the fixed configuration that was timed, ``results`` one
+    entry per timed path and ``speedups`` the headline ratios.  The payload
+    always records that the engine-equivalence guard ran (both harnesses
+    refuse to time a drifted engine) and the machine provenance.
+    """
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "scenario": dict(scenario),
+        "equivalence_checked": True,
+        "results": dict(results),
+        "speedups": dict(speedups),
+        "provenance": machine_provenance(),
+    }

@@ -1,0 +1,185 @@
+"""The resumable on-disk results store for sweep runs.
+
+Layout (one directory per run, under ``results/`` by default)::
+
+    results/<run_id>/
+        manifest.json      run identity: experiment, grid, cells, shard map,
+                           per-cell seeds, fingerprint, status, provenance
+        shard_0000.json    one file per completed shard: the rows of its cells
+        ...
+        aggregate.json     all rows in cell order (written when the run
+                           completes), plus a summary block
+        aggregate.npz      the numeric/boolean columns of the aggregate as
+                           NumPy arrays (keyed by column name)
+
+Shard files are the resume unit: a re-run with the same fingerprint skips
+every shard whose file already exists and only executes the missing ones.
+All writes are atomic (temp file + ``os.replace``) so an interrupted run
+never leaves a half-written shard behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sweeps.provenance import RUN_SCHEMA_VERSION
+
+MANIFEST_NAME = "manifest.json"
+AGGREGATE_NAME = "aggregate.json"
+AGGREGATE_NPZ_NAME = "aggregate.npz"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class RunStore:
+    """Filesystem access to one run directory (see the module docstring)."""
+
+    def __init__(self, run_dir: Path | str):
+        """Bind the store to ``run_dir`` (created on first write)."""
+        self.run_dir = Path(run_dir)
+
+    # -- paths ---------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the run manifest."""
+        return self.run_dir / MANIFEST_NAME
+
+    @property
+    def aggregate_path(self) -> Path:
+        """Path of the JSON aggregate."""
+        return self.run_dir / AGGREGATE_NAME
+
+    @property
+    def aggregate_npz_path(self) -> Path:
+        """Path of the NPZ aggregate (numeric columns)."""
+        return self.run_dir / AGGREGATE_NPZ_NAME
+
+    def shard_path(self, shard_index: int) -> Path:
+        """Path of one shard's result file."""
+        return self.run_dir / f"shard_{shard_index:04d}.json"
+
+    # -- manifest ------------------------------------------------------------
+    def write_manifest(self, manifest: Mapping[str, object]) -> None:
+        """Atomically (over)write the run manifest."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_text(
+            self.manifest_path, json.dumps(manifest, indent=2, default=repr) + "\n"
+        )
+
+    def read_manifest(self) -> dict[str, object] | None:
+        """Return the manifest, or ``None`` when the run directory is fresh."""
+        if not self.manifest_path.is_file():
+            return None
+        return json.loads(self.manifest_path.read_text())
+
+    # -- shards --------------------------------------------------------------
+    def write_shard(self, shard_index: int, payload: Mapping[str, object]) -> None:
+        """Atomically write one shard's result file."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_text(
+            self.shard_path(shard_index),
+            json.dumps(payload, indent=2, default=repr) + "\n",
+        )
+
+    def read_shard(
+        self, shard_index: int, fingerprint: str | None = None
+    ) -> dict[str, object] | None:
+        """Return one shard's payload, or ``None`` when absent.
+
+        When ``fingerprint`` is given, a stored shard from a *different*
+        sweep (stale directory reuse) raises instead of silently mixing
+        results.
+        """
+        path = self.shard_path(shard_index)
+        if not path.is_file():
+            return None
+        payload = json.loads(path.read_text())
+        if fingerprint is not None and payload.get("fingerprint") != fingerprint:
+            raise InvalidParameterError(
+                f"{path} belongs to a different sweep (fingerprint mismatch); "
+                "use a fresh --run-id or delete the stale run directory"
+            )
+        return payload
+
+    def completed_shards(
+        self, num_shards: int, fingerprint: str | None = None
+    ) -> set[int]:
+        """Return the indices of shards whose result files already exist."""
+        return {
+            index
+            for index in range(num_shards)
+            if self.read_shard(index, fingerprint=fingerprint) is not None
+        }
+
+    # -- aggregate -----------------------------------------------------------
+    def write_aggregate(
+        self,
+        rows: Sequence[Mapping[str, object]],
+        header: Mapping[str, object],
+    ) -> None:
+        """Write the JSON aggregate and its NPZ companion.
+
+        ``header`` carries the run identity block (experiment, run id,
+        fingerprint, ...); ``rows`` are the merged cell-parameter + result
+        rows in cell order.  The NPZ file holds every column whose values are
+        all ``int`` / ``float`` / ``bool`` across rows, as one array per
+        column — the bulk-analysis-friendly view of the same data.
+        """
+        payload = {
+            "schema_version": RUN_SCHEMA_VERSION,
+            **dict(header),
+            "row_count": len(rows),
+            "rows": [dict(row) for row in rows],
+        }
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_text(
+            self.aggregate_path, json.dumps(payload, indent=2, default=repr) + "\n"
+        )
+        columns = numeric_columns(rows)
+        if columns:
+            tmp = self.aggregate_npz_path.with_suffix(".npz.tmp")
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **columns)
+            os.replace(tmp, self.aggregate_npz_path)
+
+    def read_aggregate(self) -> dict[str, object] | None:
+        """Return the JSON aggregate, or ``None`` when the run is incomplete."""
+        if not self.aggregate_path.is_file():
+            return None
+        return json.loads(self.aggregate_path.read_text())
+
+
+def numeric_columns(
+    rows: Sequence[Mapping[str, object]]
+) -> dict[str, np.ndarray]:
+    """Extract the columns of ``rows`` that are numeric/boolean in every row.
+
+    A column qualifies when it is present in every row with an ``int``,
+    ``float`` or ``bool`` value (NumPy scalars included); qualifying columns
+    come back as arrays in row order, ready for ``np.savez``.
+    """
+    if not rows:
+        return {}
+    candidates = set(rows[0])
+    for row in rows:
+        candidates &= set(row)
+    columns: dict[str, np.ndarray] = {}
+    for key in sorted(candidates):
+        values = [row[key] for row in rows]
+        if all(
+            isinstance(value, (bool, int, float, np.bool_, np.integer, np.floating))
+            for value in values
+        ):
+            columns[key] = np.asarray(values)
+    return columns

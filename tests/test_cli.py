@@ -1,0 +1,147 @@
+"""End-to-end tests for the ``repro`` CLI (``python -m repro``)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Grid small enough for a smoke run, matching the `make sweep-smoke` target.
+SMOKE_ARGS = [
+    "--grid",
+    "case=complete n=4 f=1",
+    "--grid",
+    "batch=4",
+    "--grid",
+    "rounds=60",
+]
+
+
+class TestList:
+    def test_lists_all_nine_experiments_with_sections(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in [
+            "ablation",
+            "asynchronous",
+            "checker",
+            "convergence_rate",
+            "corollaries",
+            "families",
+            "necessity",
+            "robustness",
+            "validity",
+        ]:
+            assert name in out
+        assert "Section 7" in out
+        assert "Theorem 3" in out
+
+    def test_verbose_prints_claims_and_grid_defaults(self, capsys):
+        assert main(["list", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "--grid case=" in out
+        assert "split-brain" in out
+
+
+class TestRunAndReport:
+    def test_smoke_run_manifest_and_results_round_trip(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "convergence_rate",
+                *SMOKE_ARGS,
+                "--workers",
+                "2",
+                "--results-dir",
+                str(tmp_path),
+                "--run-id",
+                "smoke",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run 'smoke' complete" in out
+        assert "complete n=4 f=1" in out
+
+        run_dir = tmp_path / "smoke"
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["status"] == "complete"
+        assert manifest["experiment"] == "convergence_rate"
+        assert manifest["seed"] == 3
+        aggregate = json.loads((run_dir / "aggregate.json").read_text())
+        assert aggregate["row_count"] == len(aggregate["rows"]) == 1
+        assert aggregate["rows"][0]["case"] == "complete n=4 f=1"
+
+        # report re-opens the stored run by id and by path.
+        assert main(["report", "smoke", "--results-dir", str(tmp_path)]) == 0
+        by_id = capsys.readouterr().out
+        assert "convergence_rate" in by_id
+        assert "complete n=4 f=1" in by_id
+        assert main(["report", str(run_dir)]) == 0
+        by_path = capsys.readouterr().out
+        assert "complete n=4 f=1" in by_path
+
+    def test_quiet_run_prints_nothing(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "necessity",
+                "--grid",
+                "case=ring n=6 f=1",
+                "--results-dir",
+                str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "not-an-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_grid_key_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "necessity",
+                "--grid",
+                "bogus=1",
+                "--results-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "unknown grid parameter" in capsys.readouterr().err
+
+    def test_report_missing_run_exits_2(self, tmp_path, capsys):
+        code = main(["report", "ghost", "--results-dir", str(tmp_path)])
+        assert code == 2
+        assert "no run directory" in capsys.readouterr().err
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_list(self):
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "convergence_rate" in completed.stdout

@@ -1,0 +1,82 @@
+"""Tests for the checker-agreement experiment (``repro.experiments.checker``)."""
+
+from __future__ import annotations
+
+from repro.conditions.necessary import check_feasibility
+from repro.experiments.checker import (
+    checker_agreement_study,
+    checker_scaling_cases,
+    checker_test_battery,
+    exhaustive_checker_workload,
+)
+
+
+class TestBattery:
+    def test_labels_are_unique_and_graphs_valid(self):
+        battery = checker_test_battery()
+        labels = [label for label, _, _ in battery]
+        assert len(labels) == len(set(labels))
+        for label, graph, f in battery:
+            assert graph.number_of_nodes >= 3, label
+            assert f >= 1, label
+
+    def test_battery_is_deterministic_per_seed(self):
+        first = checker_test_battery(seed=17)
+        second = checker_test_battery(seed=17)
+        for (label_a, graph_a, _), (label_b, graph_b, _) in zip(first, second):
+            assert label_a == label_b
+            assert graph_a.nodes == graph_b.nodes
+            assert set(graph_a.edges) == set(graph_b.edges)
+
+    def test_battery_covers_both_verdicts(self):
+        battery = checker_test_battery()
+        verdicts = {check_feasibility(g, f).satisfied for _, g, f in battery}
+        assert verdicts == {True, False}
+
+
+class TestAgreementStudy:
+    def test_every_method_consistent_with_exact_checker(self):
+        # A feasible and an infeasible instance, plus a heuristic-friendly one.
+        battery = [
+            entry
+            for entry in checker_test_battery()
+            if entry[0]
+            in {"complete n=4 f=1", "chord n=7 f=2", "ring n=6 f=1"}
+        ]
+        rows = checker_agreement_study(battery=battery, random_attempts=50)
+        assert len(rows) == 3
+        assert all(row["consistent"] for row in rows)
+        by_case = {row["case"]: row for row in rows}
+        assert by_case["complete n=4 f=1"]["exact_condition_holds"] is True
+        assert by_case["chord n=7 f=2"]["exact_condition_holds"] is False
+        # The in-degree screen catches the ring immediately.
+        assert by_case["ring n=6 f=1"]["screens_pass"] is False
+
+    def test_heuristic_witness_only_on_infeasible_graphs(self):
+        battery = [
+            entry
+            for entry in checker_test_battery()
+            if entry[0] in {"complete n=6 f=1", "hypercube d=3 f=1"}
+        ]
+        rows = checker_agreement_study(battery=battery, random_attempts=50)
+        by_case = {row["case"]: row for row in rows}
+        feasible = by_case["complete n=6 f=1"]
+        assert feasible["greedy_found_witness"] is False
+        assert feasible["random_found_witness"] is False
+        assert by_case["hypercube d=3 f=1"]["exact_condition_holds"] is False
+
+
+class TestScalingWorkload:
+    def test_scaling_cases_are_well_formed(self):
+        cases = checker_scaling_cases()
+        assert len(cases) >= 4
+        labels = [label for label, _, _ in cases]
+        assert len(labels) == len(set(labels))
+
+    def test_workload_matches_direct_feasibility_check(self):
+        for case in checker_scaling_cases()[:2]:
+            _, graph, f = case
+            expected = check_feasibility(
+                graph, f, use_structural_shortcuts=False
+            ).satisfied
+            assert exhaustive_checker_workload(case) is expected

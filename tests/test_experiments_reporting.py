@@ -1,0 +1,79 @@
+"""Tests for the table-formatting helpers in ``repro.experiments.reporting``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.reporting import format_table, print_table, summarize_booleans
+
+
+class TestFormatTable:
+    def test_alignment_and_header_rule(self):
+        rows = [
+            {"name": "a", "value": 1},
+            {"name": "longer", "value": 22},
+        ]
+        lines = format_table(rows).splitlines()
+        assert lines[0].split() == ["name", "value"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("a")
+        assert lines[3].startswith("longer")
+        # Columns line up: "value" starts at the same offset in every line.
+        offset = lines[0].index("value")
+        assert lines[2][offset] == "1"
+        assert lines[3][offset] == "2"
+
+    def test_bool_and_float_rendering(self):
+        rows = [{"flag": True, "rate": 0.123456789}]
+        rendered = format_table(rows, precision=3)
+        assert "yes" in rendered
+        assert "0.123" in rendered
+        assert "0.1234" not in rendered
+        assert "no" in format_table([{"flag": False}])
+
+    def test_column_selection_and_missing_values(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        rendered = format_table(rows, columns=["b", "a"])
+        header, _, first, second = rendered.splitlines()
+        assert header.split() == ["b", "a"]
+        assert first.split() == ["2", "1"]
+        # Missing value renders as an empty cell, so only "3" remains.
+        assert second.split() == ["3"]
+
+    def test_empty_rows_and_empty_columns(self):
+        assert format_table([]) == "(no rows)"
+        with pytest.raises(InvalidParameterError):
+            format_table([{"a": 1}], columns=[])
+
+
+class TestPrintTable:
+    def test_prints_title_and_table(self, capsys):
+        print_table([{"a": 1}], title="My Table")
+        out = capsys.readouterr().out
+        assert out.startswith("My Table\n========\n")
+        assert "a" in out
+        assert out.endswith("\n")
+
+    def test_without_title(self, capsys):
+        print_table([{"a": 1}])
+        out = capsys.readouterr().out
+        assert out.startswith("a\n")
+
+
+class TestSummarizeBooleans:
+    def test_counts_true_false_missing(self):
+        rows = [
+            {"ok": True},
+            {"ok": False},
+            {"ok": 1},
+            {"other": True},
+        ]
+        assert summarize_booleans(rows, "ok") == {
+            "true": 2,
+            "false": 1,
+            "missing": 1,
+        }
+
+    def test_empty_iterable(self):
+        assert summarize_booleans([], "ok") == {"true": 0, "false": 0, "missing": 0}
