@@ -4,6 +4,9 @@
 #   make test-fast   test suite without the slow cross-engine parity sweeps
 #   make bench       synchronous engine benchmark -> BENCH_engine.json
 #   make bench-async asynchronous engine benchmark -> BENCH_async.json
+#   make bench-checker legacy-vs-bitset checker benchmark -> BENCH_checker.json
+#   make bench-checker-smoke tiny-n equivalence-guarded checker benchmark run
+#                    (no file written; CI runs this on every push)
 #   make docs-check  docs exist, examples in them import, docstrings covered
 #   make sweep-smoke end-to-end CLI sweep: run a tiny sharded grid with two
 #                    workers, then re-open it with `repro report`
@@ -17,9 +20,10 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 DOCSTRING_GATE = $(PYTHON) tools/check_docstrings.py \
 	--root src/repro --root benchmarks \
 	--require repro.cli --require repro.sweeps.registry \
-	--require repro.sweeps.orchestrator --require repro.sweeps.store
+	--require repro.sweeps.orchestrator --require repro.sweeps.store \
+	--require repro.conditions.bitset
 
-.PHONY: test test-fast bench bench-async docs-check sweep-smoke
+.PHONY: test test-fast bench bench-async bench-checker bench-checker-smoke docs-check sweep-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +38,12 @@ bench:
 
 bench-async:
 	$(PYTHON) benchmarks/bench_async.py
+
+bench-checker:
+	$(PYTHON) benchmarks/bench_checker.py
+
+bench-checker-smoke:
+	$(PYTHON) benchmarks/bench_checker.py --smoke
 
 docs-check:
 	@test -f README.md || { echo "README.md missing"; exit 1; }

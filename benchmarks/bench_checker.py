@@ -1,0 +1,200 @@
+"""Checker benchmark: legacy pure-Python vs bitset-vectorized exact checkers.
+
+Times the exhaustive Theorem-1 search (``find_violating_partition``) through
+both execution paths on the paper's chord / hypercube / core families at the
+legacy checker's node ceiling, plus ``robustness_degree`` (the ``3^n``
+disjoint-pair family) on a core network.  Every timed case is equivalence
+guarded first: the two paths must return identical verdicts **and identical
+witnesses** (the bitset search replays the legacy candidate order, so any
+divergence is a bug) or the benchmark refuses to run.
+
+The headline number is ``speedups.chord_exact_bitset_vs_python``: the exact
+Theorem-1 check on ``chord_network(n, 1)`` at the old ``n = 16`` default cap.
+Results land in ``BENCH_checker.json`` using the unified schema v2
+(``schema_version``, ``scenario``, ``results``, ``speedups``, ``provenance``
+via :func:`repro.sweeps.provenance.bench_payload`, documented in
+``docs/performance.md``); run via ``make bench-checker`` or::
+
+    PYTHONPATH=src python benchmarks/bench_checker.py [--n 16] [--smoke]
+
+``--smoke`` shrinks every case to a tiny size and skips the JSON write — the
+CI matrix runs it (``make bench-checker-smoke``) so the equivalence guard and
+both code paths stay exercised on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.conditions.necessary import find_violating_partition
+from repro.conditions.robustness import robustness_degree
+from repro.graphs.digraph import Digraph
+from repro.graphs.generators import chord_network, core_network, hypercube
+from repro.sweeps.provenance import bench_payload
+
+
+def time_exact_check(
+    graph: Digraph, f: int, method: str, repeats: int = 1
+) -> tuple[float, object]:
+    """Time ``find_violating_partition`` via ``method``; return (best seconds,
+    witness)."""
+    cap = graph.number_of_nodes
+    best = float("inf")
+    witness = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        witness = find_violating_partition(graph, f, max_nodes=cap, method=method)
+        best = min(best, time.perf_counter() - start)
+    return best, witness
+
+
+def time_robustness_degree(
+    graph: Digraph, method: str, repeats: int = 1
+) -> tuple[float, int]:
+    """Time ``robustness_degree`` via ``method``; return (best seconds, degree)."""
+    cap = graph.number_of_nodes
+    best = float("inf")
+    degree = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        degree = robustness_degree(graph, max_nodes=cap, method=method)
+        best = min(best, time.perf_counter() - start)
+    return best, degree
+
+
+def run_benchmark(
+    n: int = 16,
+    hypercube_dimension: int = 4,
+    robustness_n: int = 11,
+    bitset_repeats: int = 3,
+) -> dict:
+    """Benchmark both checker paths on the three families; return the payload.
+
+    The legacy path is timed once per case (it dominates total wall time);
+    the bitset path takes the best of ``bitset_repeats`` runs.  Equivalence
+    between the paths is asserted case by case before any number is
+    reported.
+    """
+    if n < 4:
+        raise SystemExit(f"--n must be >= 4, got {n}")
+    if robustness_n < 4:
+        raise SystemExit(f"--robustness-n must be >= 4, got {robustness_n}")
+    exact_cases = [
+        ("chord", chord_network(n, 1), 1),
+        ("hypercube", hypercube(hypercube_dimension), 1),
+        ("core", core_network(n, 1), 1),
+    ]
+    results: dict[str, dict[str, object]] = {}
+    speedups: dict[str, float] = {}
+    for label, graph, f in exact_cases:
+        python_seconds, python_witness = time_exact_check(graph, f, "python")
+        bitset_seconds, bitset_witness = time_exact_check(
+            graph, f, "bitset", repeats=bitset_repeats
+        )
+        if python_witness != bitset_witness:
+            raise SystemExit(
+                f"bitset checker diverged from the legacy checker on "
+                f"{label}: {bitset_witness!r} != {python_witness!r}; "
+                "refusing to benchmark"
+            )
+        speedup = python_seconds / bitset_seconds
+        results[f"exact_{label}"] = {
+            "n": graph.number_of_nodes,
+            "f": f,
+            "condition_holds": python_witness is None,
+            "python_seconds": python_seconds,
+            "bitset_seconds": bitset_seconds,
+            "speedup": speedup,
+        }
+        speedups[f"{label}_exact_bitset_vs_python"] = speedup
+
+    robust_graph = core_network(robustness_n, 2)
+    python_seconds, python_degree = time_robustness_degree(robust_graph, "python")
+    bitset_seconds, bitset_degree = time_robustness_degree(
+        robust_graph, "bitset", repeats=bitset_repeats
+    )
+    if python_degree != bitset_degree:
+        raise SystemExit(
+            f"bitset robustness_degree diverged from the legacy checker: "
+            f"{bitset_degree} != {python_degree}; refusing to benchmark"
+        )
+    robust_speedup = python_seconds / bitset_seconds
+    results["robustness_degree_core"] = {
+        "n": robustness_n,
+        "f": 2,
+        "degree": python_degree,
+        "python_seconds": python_seconds,
+        "bitset_seconds": bitset_seconds,
+        "speedup": robust_speedup,
+    }
+    speedups["robustness_degree_bitset_vs_python"] = robust_speedup
+
+    return bench_payload(
+        benchmark="checker-exact",
+        scenario={
+            "exact_cases": [
+                f"{label}(n={graph.number_of_nodes}, f={f})"
+                for label, graph, f in exact_cases
+            ],
+            "robustness_case": f"core_network(n={robustness_n}, f=2)",
+            "n": n,
+            "hypercube_dimension": hypercube_dimension,
+            "robustness_n": robustness_n,
+            "bitset_repeats": bitset_repeats,
+        },
+        results=results,
+        speedups=speedups,
+    )
+
+
+def main() -> None:
+    """CLI entry point: run the benchmark and write ``BENCH_checker.json``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--n", type=int, default=16, help="chord/core size (old exact ceiling)"
+    )
+    parser.add_argument(
+        "--hypercube-dimension", type=int, default=4, help="hypercube dimension"
+    )
+    parser.add_argument(
+        "--robustness-n", type=int, default=11, help="robustness case size"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny equivalence-guarded run; prints results, writes no file",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_checker.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        result = run_benchmark(
+            n=8, hypercube_dimension=3, robustness_n=7, bitset_repeats=1
+        )
+        print(json.dumps(result["results"], indent=2))
+        print("\nchecker smoke OK: bitset and legacy paths are equivalent")
+        return
+    result = run_benchmark(
+        n=args.n,
+        hypercube_dimension=args.hypercube_dimension,
+        robustness_n=args.robustness_n,
+    )
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    headline = result["speedups"]["chord_exact_bitset_vs_python"]
+    print(
+        f"\nbitset exact checker is {headline:.1f}x the legacy pure-Python "
+        f"path on chord_network(n={args.n}, f=1); robustness_degree is "
+        f"{result['speedups']['robustness_degree_bitset_vs_python']:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,20 @@
 """Feasibility-condition machinery: the ``⇒`` relation, propagation,
-the Theorem-1 exhaustive checker, corollary screens, the asynchronous variant,
+the Theorem-1 exhaustive checker (bitset-vectorized by default), corollary
+screens, the asynchronous variant,
 robustness notions from companion work, and witness search."""
 
+from repro.conditions.bitset import (
+    MAX_BITSET_NODES,
+    BitsetDigraphView,
+    find_violating_partition_bitset,
+    is_r_robust_bitset,
+    is_r_s_robust_bitset,
+    maximal_insulated_subset_mask,
+    outside_degree_table,
+    popcount_u64,
+    r_reachable_counts,
+    robustness_degree_bitset,
+)
 from repro.conditions.asynchronous import (
     async_threshold,
     check_async_feasibility,
@@ -11,6 +24,7 @@ from repro.conditions.asynchronous import (
     satisfies_async_condition,
 )
 from repro.conditions.necessary import (
+    CHECKER_METHODS,
     DEFAULT_MAX_EXACT_NODES,
     check_feasibility,
     find_core_clique,
@@ -34,6 +48,8 @@ from repro.conditions.relations import (
     reaches_f,
 )
 from repro.conditions.robustness import (
+    DEFAULT_MAX_ROBUSTNESS_NODES,
+    disjoint_pair_count,
     is_r_robust,
     is_r_s_robust,
     r_reachable_subset,
@@ -56,7 +72,19 @@ __all__ = [
     "propagation_length_bound",
     "reaches",
     "reaches_f",
+    # bitset fast path
+    "MAX_BITSET_NODES",
+    "BitsetDigraphView",
+    "find_violating_partition_bitset",
+    "is_r_robust_bitset",
+    "is_r_s_robust_bitset",
+    "maximal_insulated_subset_mask",
+    "outside_degree_table",
+    "popcount_u64",
+    "r_reachable_counts",
+    "robustness_degree_bitset",
     # necessary / sufficient condition
+    "CHECKER_METHODS",
     "DEFAULT_MAX_EXACT_NODES",
     "check_feasibility",
     "find_core_clique",
@@ -76,6 +104,8 @@ __all__ = [
     "passes_async_in_degree_screen",
     "satisfies_async_condition",
     # robustness
+    "DEFAULT_MAX_ROBUSTNESS_NODES",
+    "disjoint_pair_count",
     "is_r_robust",
     "is_r_s_robust",
     "r_reachable_subset",

@@ -60,10 +60,15 @@ def find_async_violating_partition(
     graph: Digraph,
     f: int,
     max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+    method: str = "bitset",
 ) -> PartitionWitness | None:
-    """Exhaustively search for a partition violating the asynchronous condition."""
+    """Exhaustively search for a partition violating the asynchronous condition.
+
+    ``method`` routes to the bitset fast path (default) or the legacy
+    pure-Python enumeration, exactly as in the synchronous checker.
+    """
     return find_violating_partition(
-        graph, f, threshold=async_threshold(f), max_nodes=max_nodes
+        graph, f, threshold=async_threshold(f), max_nodes=max_nodes, method=method
     )
 
 
@@ -71,15 +76,22 @@ def satisfies_async_condition(
     graph: Digraph,
     f: int,
     max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+    method: str = "bitset",
 ) -> bool:
     """Return whether ``graph`` satisfies the asynchronous condition for ``f``."""
-    return find_async_violating_partition(graph, f, max_nodes=max_nodes) is None
+    return (
+        find_async_violating_partition(
+            graph, f, max_nodes=max_nodes, method=method
+        )
+        is None
+    )
 
 
 def check_async_feasibility(
     graph: Digraph,
     f: int,
     max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+    method: str = "bitset",
 ) -> FeasibilityResult:
     """Decide feasibility of asynchronous iterative consensus on ``graph``.
 
@@ -112,7 +124,9 @@ def check_async_feasibility(
             method="structural:complete",
             reason=f"complete graph with n = {n} > 5f = {5 * f}",
         )
-    witness = find_async_violating_partition(graph, f, max_nodes=max_nodes)
+    witness = find_async_violating_partition(
+        graph, f, max_nodes=max_nodes, method=method
+    )
     if witness is None:
         return FeasibilityResult(
             satisfied=True,

@@ -47,9 +47,14 @@ set checks, each near-linear in the graph size.
 
 from __future__ import annotations
 
+from collections import deque
 from itertools import combinations
 from typing import Iterable, Iterator
 
+from repro.conditions.bitset import (
+    MAX_BITSET_NODES,
+    find_violating_partition_bitset,
+)
 from repro.exceptions import (
     GraphTooLargeError,
     InvalidParameterError,
@@ -62,7 +67,33 @@ from repro.types import FeasibilityResult, NodeId, PartitionWitness
 # Default cap on the node count accepted by the exhaustive search.  The search
 # enumerates all fault sets of size <= f and, for each, all subsets of the
 # remaining nodes, so the cost is roughly sum_{|F|<=f} C(n,|F|) * 2^(n-|F|).
-DEFAULT_MAX_EXACT_NODES = 16
+# The bitset fast path (repro.conditions.bitset) evaluates candidate subsets
+# as masked popcounts in vectorized blocks, which moves the practical ceiling
+# from ~16 (pure-Python sets) to the mid-20s; the cap follows suit.
+DEFAULT_MAX_EXACT_NODES = 24
+
+#: Accepted values for the checkers' ``method`` escape hatch.
+CHECKER_METHODS = ("bitset", "python")
+
+
+def _validate_method(method: str) -> None:
+    """Reject unknown ``method`` values with the list of known ones."""
+    if method not in CHECKER_METHODS:
+        known = ", ".join(repr(name) for name in CHECKER_METHODS)
+        raise InvalidParameterError(
+            f"unknown checker method {method!r}; expected one of {known}"
+        )
+
+
+def _validate_size(n: int, max_nodes: int, checker: str) -> None:
+    """Shared up-front node-count guard for every exhaustive checker.
+
+    Raises :class:`GraphTooLargeError` (recording ``n``, the cap and the
+    checker name) before any enumeration work begins, so oversized graphs
+    fail fast and with a consistent message across modules.
+    """
+    if n > max_nodes:
+        raise GraphTooLargeError(n, max_nodes, checker=checker)
 
 
 # ---------------------------------------------------------------------------
@@ -251,17 +282,44 @@ def maximal_insulated_subset(
     candidate set; nodes removed can belong to no insulated subset of the
     pool, so the fixed point is maximal.  An empty result means no non-empty
     insulated subset exists inside ``candidate_pool``.
+
+    The closure runs a worklist with an incremental outside-in-degree counter
+    per node: deleting ``u`` bumps the counter of every out-neighbour of
+    ``u`` still in the candidate set (``u`` just moved to the outside),
+    enqueueing those that cross the threshold.  Counters only grow, so each
+    node is deleted at most once and the closure is ``O(V + E)`` — the old
+    implementation rebuilt ``universe − current`` after every single discard,
+    making it quadratic-plus in ``n``.  The deletion closure is confluent, so
+    the processing order does not affect the fixed point.
     """
     current = set(candidate_pool)
-    changed = True
-    while changed and current:
-        changed = False
-        outside = universe - current
-        for node in list(current):
-            if graph.in_degree_within(node, outside) >= threshold:
-                current.discard(node)
-                outside = universe - current
-                changed = True
+    if not current:
+        return frozenset()
+    outside = universe - current
+    outside_degree = {
+        node: graph.in_degree_within(node, outside) for node in current
+    }
+    worklist = deque(
+        node for node in current if outside_degree[node] >= threshold
+    )
+    enqueued = set(worklist)
+    while worklist:
+        node = worklist.popleft()
+        enqueued.discard(node)
+        current.discard(node)
+        if node not in universe:
+            # A pool node outside the universe never joins the outside set,
+            # so its deletion cannot raise anyone's counter.
+            continue
+        for successor in graph.out_neighbors(node):
+            if successor in current:
+                outside_degree[successor] += 1
+                if (
+                    outside_degree[successor] >= threshold
+                    and successor not in enqueued
+                ):
+                    worklist.append(successor)
+                    enqueued.add(successor)
     return frozenset(current)
 
 
@@ -270,6 +328,7 @@ def find_violating_partition(
     f: int,
     threshold: int | None = None,
     max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+    method: str = "bitset",
 ) -> PartitionWitness | None:
     """Exhaustively search for a partition violating Theorem 1.
 
@@ -281,20 +340,27 @@ def find_violating_partition(
     the module docstring), so the overall cost is
     ``Σ_{|F| ≤ f} C(n, |F|) · 2^{n − |F|}`` insulated-set checks.
 
+    ``method`` selects the execution path: ``"bitset"`` (default) runs the
+    vectorized kernels of :mod:`repro.conditions.bitset`; ``"python"`` keeps
+    the legacy pure-Python set enumeration.  Both paths visit candidates in
+    the same canonical order and return identical witnesses.
+
     Raises :class:`~repro.exceptions.GraphTooLargeError` when the graph has
     more than ``max_nodes`` nodes; raise the cap explicitly to force the
     enumeration on larger graphs.
     """
     if f < 0:
         raise InvalidParameterError(f"f must be >= 0, got {f}")
+    _validate_method(method)
     nodes = tuple(sorted(graph.nodes, key=repr))
     n = len(nodes)
-    if n > max_nodes:
-        raise GraphTooLargeError(n, max_nodes)
+    _validate_size(n, max_nodes, "find_violating_partition")
     if n < 2:
         # With a single node there is no pair of non-empty disjoint L and R,
         # so the condition holds vacuously.
         return None
+    if method == "bitset" and n <= MAX_BITSET_NODES:
+        return find_violating_partition_bitset(graph, f, threshold=threshold)
     effective_threshold = f + 1 if threshold is None else threshold
 
     for fault_set in _iter_fault_sets(nodes, f):
@@ -329,6 +395,7 @@ def satisfies_theorem1(
     f: int,
     threshold: int | None = None,
     max_nodes: int = DEFAULT_MAX_EXACT_NODES,
+    method: str = "bitset",
 ) -> bool:
     """Return whether ``graph`` satisfies the Theorem-1 condition for ``f``.
 
@@ -336,7 +403,7 @@ def satisfies_theorem1(
     """
     return (
         find_violating_partition(
-            graph, f, threshold=threshold, max_nodes=max_nodes
+            graph, f, threshold=threshold, max_nodes=max_nodes, method=method
         )
         is None
     )
@@ -350,6 +417,7 @@ def check_feasibility(
     f: int,
     max_nodes: int = DEFAULT_MAX_EXACT_NODES,
     use_structural_shortcuts: bool = True,
+    method: str = "bitset",
 ) -> FeasibilityResult:
     """Decide whether iterative approximate Byzantine consensus tolerating
     ``f`` faults is possible on ``graph`` (synchronous model).
@@ -366,7 +434,8 @@ def check_feasibility(
 
     The returned :class:`~repro.types.FeasibilityResult` records which method
     decided and, for negative verdicts from the exhaustive search, the
-    violating partition.
+    violating partition.  ``method`` routes the exhaustive step to the
+    bitset fast path (default) or the legacy pure-Python enumeration.
     """
     n = graph.number_of_nodes
     if not passes_count_screen(n, f):
@@ -401,7 +470,9 @@ def check_feasibility(
                 method="structural:core-network",
                 reason="graph contains a core structure (Definition 4)",
             )
-    witness = find_violating_partition(graph, f, max_nodes=max_nodes)
+    witness = find_violating_partition(
+        graph, f, max_nodes=max_nodes, method=method
+    )
     if witness is None:
         return FeasibilityResult(
             satisfied=True,

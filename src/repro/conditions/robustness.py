@@ -20,16 +20,34 @@ Definitions (for a digraph ``G`` with in-neighbour sets ``N⁻``):
   ``|X_{S₁}^r| + |X_{S₂}^r| ≥ s``.
 
 Both checks are exhaustive (exponential in ``n``) like the exact Theorem-1
-checker, and guarded by the same node-count cap.
+checker and validate the same node-count cap up front.  The default path
+(``method="bitset"``) evaluates per-subset reachability tables with the
+vectorized kernels of :mod:`repro.conditions.bitset`; the legacy pure-Python
+pair enumeration stays available via ``method="python"`` and enumerates only
+canonical pairs (the smallest participating node pinned to ``S₁``) instead
+of decoding all ``3^n`` assignments and discarding the symmetric half.
 """
 
 from __future__ import annotations
 
-from repro.exceptions import GraphTooLargeError, InvalidParameterError
+from typing import Iterator
+
+from repro.conditions.bitset import (
+    MAX_BITSET_NODES,
+    BitsetDigraphView,
+    is_r_robust_bitset,
+    is_r_s_robust_bitset,
+    robustness_degree_bitset,
+)
+from repro.conditions.necessary import _validate_method, _validate_size
+from repro.exceptions import InvalidParameterError
 from repro.graphs.digraph import Digraph
 from repro.types import NodeId
 
-DEFAULT_MAX_ROBUSTNESS_NODES = 14
+# The bitset path builds 2^n per-subset tables (a few MB of vectors at
+# n = 20) instead of decoding 3^n base-3 assignments in Python, so the cap
+# rises from the pure-Python ceiling of 14 accordingly.
+DEFAULT_MAX_ROBUSTNESS_NODES = 20
 
 
 def r_reachable_subset(graph: Digraph, node_set: frozenset[NodeId], r: int) -> frozenset[NodeId]:
@@ -45,52 +63,73 @@ def r_reachable_subset(graph: Digraph, node_set: frozenset[NodeId], r: int) -> f
     )
 
 
-def _iter_disjoint_pairs(nodes: tuple[NodeId, ...]):
+def disjoint_pair_count(n: int) -> int:
+    """Return the number of unordered pairs of non-empty disjoint subsets of
+    an ``n``-element set: ``(3^n − 2^{n+1} + 1) / 2``.
+
+    (Ordered pairs by inclusion–exclusion: ``3^n`` three-way assignments
+    minus ``2^n`` each for an empty side, plus the doubly-empty assignment;
+    halve for unordered.)  :func:`_iter_disjoint_pairs` yields exactly this
+    many pairs — asserted by the test suite.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    return (3**n - 2 ** (n + 1) + 1) // 2
+
+
+def _iter_disjoint_pairs(
+    nodes: tuple[NodeId, ...]
+) -> Iterator[tuple[frozenset[NodeId], frozenset[NodeId]]]:
     """Yield every unordered pair of non-empty disjoint subsets ``(S1, S2)``.
 
-    Each node is assigned to S1, S2 or neither (3^n assignments); unordered
-    pairs are produced once by requiring the smallest participating node to be
-    in S1.
+    Pairs are generated canonically: the smallest participating node (in the
+    given ``nodes`` order) is pinned to ``S1``, and only the nodes after it
+    receive a three-way assignment (neither / S1 / S2).  This enumerates
+    ``Σ_p 3^{n−1−p}`` assignments — about half the naive ``3^n`` decode that
+    produced every pair twice and then discarded the symmetric copies — and
+    skips only the ``S2 = ∅`` assignments (a vanishing ``(2/3)^k`` fraction).
     """
     n = len(nodes)
-    # Iterate assignments as base-3 numbers: digit 0 = neither, 1 = S1, 2 = S2.
-    total = 3**n
-    for code in range(total):
-        assignment = code
-        s1: list[NodeId] = []
-        s2: list[NodeId] = []
-        first_participant_side = 0
-        for index in range(n):
-            digit = assignment % 3
-            assignment //= 3
-            if digit == 1:
-                if first_participant_side == 0:
-                    first_participant_side = 1
-                s1.append(nodes[index])
-            elif digit == 2:
-                if first_participant_side == 0:
-                    first_participant_side = 2
-                s2.append(nodes[index])
-        if not s1 or not s2:
-            continue
-        if first_participant_side == 2:
-            # The symmetric assignment with S1/S2 swapped is (or was)
-            # enumerated separately; skip to avoid double work.
-            continue
-        yield frozenset(s1), frozenset(s2)
+    for pivot in range(n):
+        rest = nodes[pivot + 1 :]
+        width = len(rest)
+        for code in range(3**width):
+            s1 = [nodes[pivot]]
+            s2: list[NodeId] = []
+            assignment = code
+            for index in range(width):
+                digit = assignment % 3
+                assignment //= 3
+                if digit == 1:
+                    s1.append(rest[index])
+                elif digit == 2:
+                    s2.append(rest[index])
+            if not s2:
+                continue
+            yield frozenset(s1), frozenset(s2)
 
 
 def is_r_robust(
-    graph: Digraph, r: int, max_nodes: int = DEFAULT_MAX_ROBUSTNESS_NODES
+    graph: Digraph,
+    r: int,
+    max_nodes: int = DEFAULT_MAX_ROBUSTNESS_NODES,
+    method: str = "bitset",
 ) -> bool:
-    """Return whether ``graph`` is r-robust (exhaustive check)."""
+    """Return whether ``graph`` is r-robust (exhaustive check).
+
+    ``method="bitset"`` (default) answers via per-subset reachability tables
+    and a subset-sum dynamic program; ``method="python"`` runs the legacy
+    canonical pair enumeration.  Both validate the node cap up front.
+    """
     if r < 1:
         raise InvalidParameterError(f"r must be >= 1, got {r}")
+    _validate_method(method)
     nodes = tuple(sorted(graph.nodes, key=repr))
-    if len(nodes) > max_nodes:
-        raise GraphTooLargeError(len(nodes), max_nodes)
+    _validate_size(len(nodes), max_nodes, "is_r_robust")
     if len(nodes) < 2:
         return True
+    if method == "bitset" and len(nodes) <= MAX_BITSET_NODES:
+        return is_r_robust_bitset(BitsetDigraphView(graph), r)
     for s1, s2 in _iter_disjoint_pairs(nodes):
         if not r_reachable_subset(graph, s1, r) and not r_reachable_subset(
             graph, s2, r
@@ -104,17 +143,23 @@ def is_r_s_robust(
     r: int,
     s: int,
     max_nodes: int = DEFAULT_MAX_ROBUSTNESS_NODES,
+    method: str = "bitset",
 ) -> bool:
-    """Return whether ``graph`` is (r, s)-robust (exhaustive check)."""
+    """Return whether ``graph`` is (r, s)-robust (exhaustive check).
+
+    Same execution paths and up-front cap validation as :func:`is_r_robust`.
+    """
     if r < 1:
         raise InvalidParameterError(f"r must be >= 1, got {r}")
     if s < 1:
         raise InvalidParameterError(f"s must be >= 1, got {s}")
+    _validate_method(method)
     nodes = tuple(sorted(graph.nodes, key=repr))
-    if len(nodes) > max_nodes:
-        raise GraphTooLargeError(len(nodes), max_nodes)
+    _validate_size(len(nodes), max_nodes, "is_r_s_robust")
     if len(nodes) < 2:
         return True
+    if method == "bitset" and len(nodes) <= MAX_BITSET_NODES:
+        return is_r_s_robust_bitset(BitsetDigraphView(graph), r, s)
     for s1, s2 in _iter_disjoint_pairs(nodes):
         reach1 = r_reachable_subset(graph, s1, r)
         if len(reach1) == len(s1):
@@ -129,7 +174,9 @@ def is_r_s_robust(
 
 
 def robustness_degree(
-    graph: Digraph, max_nodes: int = DEFAULT_MAX_ROBUSTNESS_NODES
+    graph: Digraph,
+    max_nodes: int = DEFAULT_MAX_ROBUSTNESS_NODES,
+    method: str = "bitset",
 ) -> int:
     """Return the largest ``r`` such that ``graph`` is r-robust.
 
@@ -137,16 +184,18 @@ def robustness_degree(
     (disconnected in the robustness sense).  The maximum meaningful value is
     ``⌈n / 2⌉``, attained by complete graphs.
     """
+    _validate_method(method)
     nodes = tuple(sorted(graph.nodes, key=repr))
     n = len(nodes)
-    if n > max_nodes:
-        raise GraphTooLargeError(n, max_nodes)
+    _validate_size(n, max_nodes, "robustness_degree")
     if n < 2:
         return 0
+    if method == "bitset" and n <= MAX_BITSET_NODES:
+        return robustness_degree_bitset(BitsetDigraphView(graph))
     best = 0
     upper = (n + 1) // 2
     for r in range(1, upper + 1):
-        if is_r_robust(graph, r, max_nodes=max_nodes):
+        if is_r_robust(graph, r, max_nodes=max_nodes, method=method):
             best = r
         else:
             break

@@ -18,6 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.conditions.bitset import (
+    MAX_BITSET_NODES,
+    BitsetDigraphView,
+    maximal_insulated_subset_mask,
+)
 from repro.conditions.necessary import (
     maximal_insulated_subset,
     verify_witness,
@@ -25,6 +30,31 @@ from repro.conditions.necessary import (
 from repro.exceptions import InvalidParameterError
 from repro.graphs.digraph import Digraph
 from repro.types import NodeId, PartitionWitness
+
+
+def _bitset_view(graph: Digraph) -> BitsetDigraphView | None:
+    """Return a packed adjacency view for the closure fast path, when it fits."""
+    if graph.number_of_nodes <= MAX_BITSET_NODES:
+        return BitsetDigraphView(graph)
+    return None
+
+
+def _closure(
+    graph: Digraph,
+    view: BitsetDigraphView | None,
+    pool: frozenset[NodeId],
+    universe: frozenset[NodeId],
+    threshold: int,
+) -> frozenset[NodeId]:
+    """Maximal insulated subset of ``pool``, via the bitset kernel when a
+    view is available (the closure dominates the witness searches' cost)."""
+    if view is None:
+        return maximal_insulated_subset(graph, pool, universe, threshold)
+    return view.set_of(
+        maximal_insulated_subset_mask(
+            view, view.mask_of(pool), view.mask_of(universe), threshold
+        )
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -74,6 +104,7 @@ def _witness_from_left(
     fault_set: frozenset[NodeId],
     left: frozenset[NodeId],
     threshold: int,
+    view: BitsetDigraphView | None = None,
 ) -> PartitionWitness | None:
     """Try to complete a candidate ``L`` into a full witness for fault set ``F``.
 
@@ -87,7 +118,7 @@ def _witness_from_left(
     outside = universe - left
     if any(graph.in_degree_within(node, outside) >= threshold for node in left):
         return None
-    right = maximal_insulated_subset(graph, outside, universe, threshold)
+    right = _closure(graph, view, outside, universe, threshold)
     if not right:
         return None
     return PartitionWitness(
@@ -117,6 +148,7 @@ def greedy_witness_search(
     effective_threshold = f + 1 if threshold is None else threshold
     nodes = sorted(graph.nodes, key=repr)
     n = len(nodes)
+    view = _bitset_view(graph)
 
     for seed in nodes:
         # Candidate fault sets: empty, and the up-to-f in-neighbours of the
@@ -161,7 +193,7 @@ def greedy_witness_search(
             if len(left) >= len(universe):
                 continue
             witness = _witness_from_left(
-                graph, fault_set, frozenset(left), effective_threshold
+                graph, fault_set, frozenset(left), effective_threshold, view=view
             )
             if witness is not None and verify_witness(
                 graph, f, witness, threshold=effective_threshold
@@ -196,6 +228,7 @@ def random_witness_search(
     n = len(nodes)
     if n < 2:
         return None
+    view = _bitset_view(graph)
 
     for _ in range(attempts):
         fault_size = int(generator.integers(0, f + 1)) if f > 0 else 0
@@ -214,13 +247,11 @@ def random_witness_search(
         right_pool = universe - left_pool
         if not left_pool or not right_pool:
             continue
-        left = maximal_insulated_subset(
-            graph, left_pool, universe, effective_threshold
-        )
+        left = _closure(graph, view, left_pool, universe, effective_threshold)
         if not left:
             continue
-        right = maximal_insulated_subset(
-            graph, universe - left, universe, effective_threshold
+        right = _closure(
+            graph, view, universe - left, universe, effective_threshold
         )
         if not right:
             continue

@@ -78,14 +78,16 @@ class GraphTooLargeError(ConditionCheckError):
     graph can raise the cap explicitly.
     """
 
-    def __init__(self, n: int, cap: int) -> None:
+    def __init__(self, n: int, cap: int, checker: str | None = None) -> None:
+        label = checker or "exact condition check"
         super().__init__(
-            f"exact condition check requested on a graph with {n} nodes, but "
-            f"the configured cap is {cap}; raise max_nodes to force the "
-            "exhaustive enumeration or use a heuristic checker"
+            f"{label} requested on a graph with n = {n} nodes, but the "
+            f"configured cap is max_nodes = {cap}; raise max_nodes to force "
+            "the exhaustive enumeration or use a heuristic checker"
         )
         self.n = n
         self.cap = cap
+        self.checker = checker
 
 
 class InvalidPartitionError(ConditionCheckError, ValueError):

@@ -15,9 +15,12 @@ Two questions:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.conditions.necessary import (
+    DEFAULT_MAX_EXACT_NODES,
     check_feasibility,
     find_violating_partition,
     passes_count_screen,
@@ -89,7 +92,9 @@ def checker_agreement_study(
     chosen = battery if battery is not None else checker_test_battery()
     rows: list[dict[str, object]] = []
     for label, graph, f in chosen:
-        exact_witness = find_violating_partition(graph, f)
+        exact_witness = find_violating_partition(graph, f, method="bitset")
+        legacy_witness = find_violating_partition(graph, f, method="python")
+        methods_agree = exact_witness == legacy_witness
         exact_holds = exact_witness is None
         screens_pass = passes_count_screen(
             graph.number_of_nodes, f
@@ -101,6 +106,10 @@ def checker_agreement_study(
         greedy_valid = greedy is None or verify_witness(graph, f, greedy)
         randomized_valid = randomized is None or verify_witness(graph, f, randomized)
         consistent = True
+        # The bitset fast path and the legacy enumeration are the same search
+        # in different arithmetic; any disagreement is an implementation bug.
+        if not methods_agree:
+            consistent = False
         # Screens are necessary conditions: they may pass on infeasible graphs
         # but must never fail on feasible ones.
         if exact_holds and not screens_pass:
@@ -117,6 +126,7 @@ def checker_agreement_study(
                 "n": graph.number_of_nodes,
                 "f": f,
                 "exact_condition_holds": exact_holds,
+                "methods_agree": methods_agree,
                 "screens_pass": screens_pass,
                 "greedy_found_witness": greedy is not None,
                 "random_found_witness": randomized is not None,
@@ -142,6 +152,68 @@ def exhaustive_checker_workload(case: tuple[str, Digraph, int]) -> bool:
     """Benchmark payload: run the full feasibility pipeline on one case."""
     _, graph, f = case
     return check_feasibility(graph, f, use_structural_shortcuts=False).satisfied
+
+
+def checker_scaling_battery() -> list[tuple[str, Digraph, int]]:
+    """Labelled cases at and beyond the legacy pure-Python ceiling (n = 16).
+
+    The ``n > 16`` entries used to raise
+    :class:`~repro.exceptions.GraphTooLargeError` under the old default cap;
+    the ``n = 16`` entries sat exactly at it and cost seconds through the
+    set-based enumeration (see ``BENCH_checker.json``) versus milliseconds
+    here.  The mix covers feasible graphs (full ``2^{n−|F|}`` enumeration,
+    the worst case) and violating ones (early exit on the first witness).
+    """
+    return [
+        ("chord n=16 f=1", chord_network(16, 1), 1),
+        ("chord n=20 f=1", chord_network(20, 1), 1),
+        ("core n=18 f=2", core_network(18, 2), 2),
+        ("ring-lattice n=20 k=4 f=1", ring_lattice(20, 4), 1),
+        ("hypercube d=4 f=1", hypercube(4), 1),
+        ("barbell 12+12 n=24 f=1", butterfly_barbell(12, 1), 1),
+    ]
+
+
+@register_experiment(
+    name="checker_scaling",
+    paper_section="Theorem-1 checker at scale (E10b)",
+    claim=(
+        "The bitset-vectorized checker decides the exact Theorem-1 "
+        "condition on graphs beyond the legacy pure-Python ceiling."
+    ),
+    engine="checker",
+    grid={
+        "case": tuple(label for label, _, _ in checker_scaling_battery()),
+    },
+)
+def checker_scaling_cell(case: str) -> list[dict[str, object]]:
+    """Registry cell for E10b: time the exact bitset check on one large case."""
+    matching = select_labelled_case(
+        case, checker_scaling_battery(), "checker_scaling case"
+    )
+    rows: list[dict[str, object]] = []
+    for label, graph, f in matching:
+        cap = max(graph.number_of_nodes, DEFAULT_MAX_EXACT_NODES)
+        start = time.perf_counter()
+        result = check_feasibility(
+            graph, f, max_nodes=cap, use_structural_shortcuts=False
+        )
+        elapsed = time.perf_counter() - start
+        witness_valid = result.witness is None or verify_witness(
+            graph, f, result.witness
+        )
+        rows.append(
+            {
+                "case": label,
+                "n": graph.number_of_nodes,
+                "f": f,
+                "satisfied": result.satisfied,
+                "decided_by": result.method,
+                "witness_valid": witness_valid,
+                "elapsed_seconds": elapsed,
+            }
+        )
+    return rows
 
 
 @register_experiment(

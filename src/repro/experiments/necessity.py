@@ -158,12 +158,15 @@ def default_necessity_cases() -> list[tuple[str, Digraph, int, PartitionWitness 
     """Labelled condition-violating graphs for the registered E1 sweep.
 
     The chord and hypercube entries carry the paper's explicit witnesses;
-    the ring entry lets the exhaustive checker find one.
+    the ring entries let the exhaustive checker find one — the ``n = 18``
+    ring sits beyond the legacy checker's ceiling and exercises the bitset
+    fast path end to end.
     """
     return [
         ("chord n=7 f=2", chord_network(7, 2), 2, chord_n7_f2_witness()),
         ("hypercube d=3 f=1", hypercube(3), 1, hypercube_dimension_cut_witness(3)),
         ("ring n=6 f=1", undirected_ring(6), 1, None),
+        ("ring n=18 f=1", undirected_ring(18), 1, None),
     ]
 
 
@@ -176,7 +179,12 @@ def default_necessity_cases() -> list[tuple[str, Digraph, int, PartitionWitness 
     ),
     engine="scalar-sync",
     grid={
-        "case": ("chord n=7 f=2", "hypercube d=3 f=1", "ring n=6 f=1"),
+        "case": (
+            "chord n=7 f=2",
+            "hypercube d=3 f=1",
+            "ring n=6 f=1",
+            "ring n=18 f=1",
+        ),
         "rounds": (50,),
     },
 )

@@ -35,6 +35,7 @@ def default_robustness_cases() -> list[tuple[str, Digraph, int]]:
         ("chord n=7 f=2", chord_network(7, 2), 2),
         ("chord n=8 f=1", chord_network(8, 1), 1),
         ("hypercube d=3 f=1", hypercube(3), 1),
+        ("hypercube d=4 f=1", hypercube(4), 1),
         ("ring n=6 f=1", undirected_ring(6), 1),
     ]
 

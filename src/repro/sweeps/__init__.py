@@ -1,6 +1,6 @@
 """Declarative experiment registry and sharded sweep orchestration.
 
-This subpackage turns the nine experiment driver modules under
+This subpackage turns the experiment driver modules under
 :mod:`repro.experiments` into named, rerunnable artifacts:
 
 * :mod:`repro.sweeps.registry` — the :func:`register_experiment` decorator and

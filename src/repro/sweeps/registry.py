@@ -1,7 +1,8 @@
 """The experiment registry: named, rerunnable paper experiments.
 
-Each of the nine experiment driver modules under :mod:`repro.experiments`
-registers exactly one entry point with :func:`register_experiment`, declaring
+The experiment driver modules under :mod:`repro.experiments` register their
+entry points with :func:`register_experiment` (one per module, plus the
+``checker_scaling`` sweep riding in the checker module), declaring
 
 * the **parameter grid** the experiment sweeps by default (a mapping from
   parameter name to the tuple of values; the Cartesian product forms the
@@ -33,7 +34,7 @@ from typing import Callable, Mapping, Sequence
 from repro.exceptions import InvalidParameterError
 
 #: Module whose import registers every experiment (its ``__init__`` pulls in
-#: all nine driver modules).
+#: all driver modules).
 EXPERIMENTS_MODULE = "repro.experiments"
 
 

@@ -65,7 +65,9 @@ class TestRRobustness:
 
     def test_cap_enforced(self):
         with pytest.raises(GraphTooLargeError):
-            is_r_robust(complete_graph(20), 2)
+            is_r_robust(complete_graph(25), 2)
+        with pytest.raises(GraphTooLargeError):
+            is_r_robust(complete_graph(12), 2, max_nodes=10)
 
     def test_robustness_degree(self):
         assert robustness_degree(complete_graph(6)) == 3

@@ -18,11 +18,13 @@ from repro.sweeps.orchestrator import execute_shard, plan_sweep, run_sweep
 from repro.sweeps.registry import all_experiments, get_experiment
 from repro.sweeps.store import RunStore, numeric_columns
 
-#: The nine paper experiments every release must register.
+#: The registered experiments every release must provide: the nine paper
+#: experiments plus the ``checker_scaling`` sweep over the bitset checker.
 EXPECTED_EXPERIMENTS = {
     "ablation",
     "asynchronous",
     "checker",
+    "checker_scaling",
     "convergence_rate",
     "corollaries",
     "families",
@@ -40,7 +42,7 @@ TINY_GRID = (
 
 
 class TestRegistry:
-    def test_all_nine_experiments_registered(self):
+    def test_all_expected_experiments_registered(self):
         assert set(all_experiments()) == EXPECTED_EXPERIMENTS
 
     def test_specs_declare_paper_sections_and_grids(self):
