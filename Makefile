@@ -7,6 +7,10 @@
 #   make bench-checker legacy-vs-bitset checker benchmark -> BENCH_checker.json
 #   make bench-checker-smoke tiny-n equivalence-guarded checker benchmark run
 #                    (no file written; CI runs this on every push)
+#   make bench-adversary batch-native vs adapter adversary benchmark
+#                    -> BENCH_adversary.json
+#   make bench-adversary-smoke tiny-n equivalence-guarded adversary benchmark
+#                    run (no file written; CI runs this on every push)
 #   make docs-check  docs exist, examples in them import, docstrings covered
 #   make sweep-smoke end-to-end CLI sweep: run a tiny sharded grid with two
 #                    workers, then re-open it with `repro report`
@@ -21,9 +25,9 @@ DOCSTRING_GATE = $(PYTHON) tools/check_docstrings.py \
 	--root src/repro --root benchmarks \
 	--require repro.cli --require repro.sweeps.registry \
 	--require repro.sweeps.orchestrator --require repro.sweeps.store \
-	--require repro.conditions.bitset
+	--require repro.conditions.bitset --require repro.adversary.vectorized
 
-.PHONY: test test-fast bench bench-async bench-checker bench-checker-smoke docs-check sweep-smoke
+.PHONY: test test-fast bench bench-async bench-checker bench-checker-smoke bench-adversary bench-adversary-smoke docs-check sweep-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +48,12 @@ bench-checker:
 
 bench-checker-smoke:
 	$(PYTHON) benchmarks/bench_checker.py --smoke
+
+bench-adversary:
+	$(PYTHON) benchmarks/bench_adversary.py
+
+bench-adversary-smoke:
+	$(PYTHON) benchmarks/bench_adversary.py --smoke
 
 docs-check:
 	@test -f README.md || { echo "README.md missing"; exit 1; }

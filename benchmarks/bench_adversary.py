@@ -1,0 +1,293 @@
+"""Adversary benchmark: batch-native strategies vs the scalar adapter.
+
+Times every strategy in the batch-native Byzantine library
+(:mod:`repro.adversary.vectorized`) against its
+:class:`~repro.adversary.vectorized.ScalarStrategyAdapter` counterpart on the
+same :class:`~repro.simulation.vectorized.VectorizedEngine` batch.  The
+headline scenario is the paper's **split-brain necessity attack**: a
+"split-brain barbell" — two complete halves with no cross edges, ``f`` faulty
+nodes wired to everyone — carries an explicit violating partition, so the
+witness-driven :class:`~repro.adversary.vectorized.BatchSplitBrainStrategy`
+runs at any size without a witness search.
+
+The headline number is ``speedups.split_brain_native_vs_adapter``: per
+run-round throughput of the native strategy over the adapter replaying the
+scalar :class:`~repro.adversary.strategies.SplitBrainStrategy` row by row.
+Results land in ``BENCH_adversary.json`` using the unified benchmark schema
+(shared with the other ``BENCH_*.json`` files via
+:func:`repro.sweeps.provenance.bench_payload`); run via ``make
+bench-adversary`` or::
+
+    PYTHONPATH=src python benchmarks/bench_adversary.py [--n 40] [--batch 64]
+
+Every timed pair is equivalence-guarded first: the native and adapter paths
+must produce bit-identical ``B = 1`` trajectories (identical RNG streams for
+the randomized strategies) or the benchmark refuses to run.  ``--smoke``
+runs a tiny instance with the guard and writes no file (CI runs this on
+every push).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.adversary.strategies import (
+    BroadcastConsistentStrategy,
+    ExtremePushStrategy,
+    FrozenValueStrategy,
+    RandomNoiseStrategy,
+    SplitBrainStrategy,
+    StaticValueStrategy,
+)
+from repro.adversary.vectorized import (
+    BatchBroadcastConsistentWrapper,
+    BatchExtremePushStrategy,
+    BatchFrozenValueStrategy,
+    BatchRandomNoiseStrategy,
+    BatchSplitBrainStrategy,
+    BatchStaticValueStrategy,
+    ScalarStrategyAdapter,
+)
+from repro.algorithms.trimmed_mean import TrimmedMeanRule
+from repro.conditions.necessary import verify_witness
+from repro.graphs.digraph import Digraph
+from repro.simulation.engine import SimulationConfig
+from repro.simulation.vectorized import VectorizedEngine, random_input_matrix
+from repro.sweeps.provenance import bench_payload
+from repro.types import PartitionWitness
+
+
+def split_brain_barbell(n: int, f: int) -> tuple[Digraph, PartitionWitness]:
+    """Return a condition-violating graph with an explicit witness.
+
+    Nodes ``0 .. n-f-1`` form two complete halves ``L`` and ``R`` with no
+    edges between them; the last ``f`` nodes are faulty and bidirectionally
+    connected to every node.  With ``F`` excluded neither half can reach the
+    other at all, so ``(F, L, C=∅, R)`` violates the Theorem-1 condition at
+    any ``f >= 1`` — the witness needs no search and scales to any ``n``.
+    """
+    if n - f < 4 or f < 1:
+        raise SystemExit(f"need n - f >= 4 and f >= 1, got n={n}, f={f}")
+    fault_free = n - f
+    half = fault_free // 2
+    left = frozenset(range(half))
+    right = frozenset(range(half, fault_free))
+    faulty = frozenset(range(fault_free, n))
+    graph = Digraph(nodes=range(n))
+    for side in (left, right):
+        for source in side:
+            for target in side:
+                if source != target:
+                    graph.add_edge(source, target)
+    for bad in faulty:
+        for node in range(fault_free):
+            graph.add_bidirectional_edge(bad, node)
+    witness = PartitionWitness(
+        faulty=faulty, left=left, center=frozenset(), right=right
+    )
+    return graph, witness
+
+
+def strategy_pairs(witness: PartitionWitness, seed: int):
+    """Return ``(label, native factory, adapter factory)`` per strategy.
+
+    Factories take the batch size and return a fresh adversary, so timed
+    runs and guard runs never share stateful strategies or RNG streams.
+    The randomized pair draws from identically seeded per-row streams on
+    both sides (the RNG-stream contract).
+    """
+
+    def spawned(batch: int) -> list[np.random.Generator]:
+        return [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(seed).spawn(batch)
+        ]
+
+    def noise_native(batch: int):
+        return BatchRandomNoiseStrategy(-10.0, 10.0, rng=spawned(batch))
+
+    def noise_adapter(batch: int):
+        streams = iter(spawned(batch))
+        return ScalarStrategyAdapter(
+            factory=lambda: RandomNoiseStrategy(-10.0, 10.0, rng=next(streams))
+        )
+
+    return [
+        (
+            "split_brain",
+            lambda batch: BatchSplitBrainStrategy(witness, 0.0, 1.0, margin=1.0),
+            lambda batch: ScalarStrategyAdapter(
+                strategy=SplitBrainStrategy(witness, 0.0, 1.0, margin=1.0)
+            ),
+        ),
+        (
+            "static",
+            lambda batch: BatchStaticValueStrategy(500.0),
+            lambda batch: ScalarStrategyAdapter(strategy=StaticValueStrategy(500.0)),
+        ),
+        (
+            "frozen",
+            lambda batch: BatchFrozenValueStrategy(),
+            lambda batch: ScalarStrategyAdapter(factory=FrozenValueStrategy),
+        ),
+        ("noise", noise_native, noise_adapter),
+        (
+            "extreme_push",
+            lambda batch: BatchExtremePushStrategy(2.0),
+            lambda batch: ScalarStrategyAdapter(strategy=ExtremePushStrategy(2.0)),
+        ),
+        (
+            "broadcast_extreme",
+            lambda batch: BatchBroadcastConsistentWrapper(
+                BatchExtremePushStrategy(2.0)
+            ),
+            lambda batch: ScalarStrategyAdapter(
+                strategy=BroadcastConsistentStrategy(ExtremePushStrategy(2.0))
+            ),
+        ),
+    ]
+
+
+def _make_engine(graph, rule, faulty, adversary, rounds: int) -> VectorizedEngine:
+    return VectorizedEngine(
+        graph,
+        rule,
+        faulty=faulty,
+        adversary=adversary,
+        config=SimulationConfig(
+            max_rounds=rounds, record_history=False, stop_on_convergence=False
+        ),
+    )
+
+
+def time_rounds(engine: VectorizedEngine, matrix, rounds: int) -> float:
+    """Step ``rounds`` iterations over ``matrix``; return elapsed seconds."""
+    state = matrix
+    start = time.perf_counter()
+    for round_index in range(1, rounds + 1):
+        state = engine.step_matrix(state, round_index)
+    return time.perf_counter() - start
+
+
+def run_benchmark(
+    n: int = 40,
+    f: int = 4,
+    batch: int = 64,
+    rounds: int = 25,
+    seed: int = 17,
+) -> dict:
+    """Time every native/adapter strategy pair on the barbell scenario.
+
+    Returns the result dictionary that is also written to
+    ``BENCH_adversary.json``.
+    """
+    if batch < 1:
+        raise SystemExit(f"--batch must be >= 1, got {batch}")
+    if rounds < 1:
+        raise SystemExit(f"--rounds must be >= 1, got {rounds}")
+    graph, witness = split_brain_barbell(n, f)
+    if not verify_witness(graph, f, witness):
+        raise SystemExit("barbell witness failed verification; refusing to benchmark")
+    rule = TrimmedMeanRule(f)
+    faulty = witness.faulty
+    guard_rounds = min(rounds, 20)
+
+    results: dict[str, dict] = {}
+    speedups: dict[str, float] = {}
+    for label, native_factory, adapter_factory in strategy_pairs(witness, seed):
+        # Guard: the native strategy must be bit-exact with the adapter.
+        engines = [
+            _make_engine(graph, rule, faulty, factory(1), guard_rounds)
+            for factory in (native_factory, adapter_factory)
+        ]
+        single = random_input_matrix(engines[0].nodes, 1, rng=seed)
+        outcomes = [
+            engine.run_batch(single.copy()) for engine in engines
+        ]
+        if not np.array_equal(
+            outcomes[0].final_states, outcomes[1].final_states
+        ):
+            raise SystemExit(
+                f"native strategy {label!r} is not bit-exact with its "
+                "scalar adapter counterpart; refusing to benchmark"
+            )
+
+        timings: dict[str, float] = {}
+        for mode, factory in (("native", native_factory), ("adapter", adapter_factory)):
+            engine = _make_engine(graph, rule, faulty, factory(batch), rounds)
+            matrix = random_input_matrix(engine.nodes, batch, rng=seed)
+            # Warm up the same engine that gets timed, so the one-off array
+            # and channel-layout setup stays outside the timed region.
+            engine.step_matrix(matrix, 1)
+            timings[mode] = time_rounds(engine, matrix, rounds)
+        native_throughput = (batch * rounds) / timings["native"]
+        adapter_throughput = (batch * rounds) / timings["adapter"]
+        results[label] = {
+            "native_seconds": timings["native"],
+            "adapter_seconds": timings["adapter"],
+            "native_run_rounds_per_sec": native_throughput,
+            "adapter_run_rounds_per_sec": adapter_throughput,
+        }
+        speedups[f"{label}_native_vs_adapter"] = (
+            native_throughput / adapter_throughput
+        )
+
+    return bench_payload(
+        benchmark="adversary-batch",
+        scenario={
+            "graph": f"split_brain_barbell(n={n}, f={f})",
+            "n": n,
+            "f": f,
+            "witness": witness.describe(),
+            "batch": batch,
+            "rounds": rounds,
+            "seed": seed,
+        },
+        results=results,
+        speedups=speedups,
+    )
+
+
+def main() -> None:
+    """CLI entry point: run the benchmark and write ``BENCH_adversary.json``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=40, help="total nodes")
+    parser.add_argument("--f", type=int, default=4, help="fault budget")
+    parser.add_argument("--batch", type=int, default=64, help="batch size B")
+    parser.add_argument("--rounds", type=int, default=25, help="rounds per run")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny equivalence-guarded run; no file written (CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_adversary.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        result = run_benchmark(n=12, f=1, batch=4, rounds=5)
+        print("adversary benchmark smoke OK (equivalence guard passed)")
+        return
+    result = run_benchmark(
+        n=args.n, f=args.f, batch=args.batch, rounds=args.rounds
+    )
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    headline = result["speedups"]["split_brain_native_vs_adapter"]
+    print(
+        f"\nbatch-native split-brain throughput is {headline:.1f}x the "
+        f"scalar-adapter path on {result['scenario']['graph']} with "
+        f"B={result['scenario']['batch']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,8 +18,13 @@ from repro.adversary.strategies import (
 )
 from repro.adversary.vectorized import (
     BatchAdversaryContext,
+    BatchBroadcastConsistentWrapper,
     BatchExtremePushStrategy,
+    BatchFrozenValueStrategy,
     BatchPassiveStrategy,
+    BatchRandomNoiseStrategy,
+    BatchSplitBrainStrategy,
+    BatchStaticValueStrategy,
     BatchStrategy,
     ScalarStrategyAdapter,
     as_batch_strategy,
@@ -27,8 +32,13 @@ from repro.adversary.vectorized import (
 
 __all__ = [
     "BatchAdversaryContext",
+    "BatchBroadcastConsistentWrapper",
     "BatchExtremePushStrategy",
+    "BatchFrozenValueStrategy",
     "BatchPassiveStrategy",
+    "BatchRandomNoiseStrategy",
+    "BatchSplitBrainStrategy",
+    "BatchStaticValueStrategy",
     "BatchStrategy",
     "ScalarStrategyAdapter",
     "as_batch_strategy",

@@ -57,16 +57,23 @@ class FrozenValueStrategy(ByzantineStrategy):
     def __init__(self) -> None:
         self._frozen: dict[NodeId, float] = {}
 
+    def _freeze(self, node: NodeId, context: AdversaryContext) -> float:
+        """Freeze ``node`` at its current state on first access, from either
+        entry point — otherwise a ``nominal_value`` call arriving before
+        ``outgoing_values`` would report a later state than the one actually
+        sent on the edges."""
+        if node not in self._frozen:
+            self._frozen[node] = float(context.values[node])
+        return self._frozen[node]
+
     def outgoing_values(
         self, node: NodeId, context: AdversaryContext
     ) -> dict[NodeId, float]:
-        if node not in self._frozen:
-            self._frozen[node] = float(context.values[node])
-        value = self._frozen[node]
+        value = self._freeze(node, context)
         return {neighbor: value for neighbor in context.graph.out_neighbors(node)}
 
     def nominal_value(self, node: NodeId, context: AdversaryContext) -> float:
-        return self._frozen.get(node, float(context.values[node]))
+        return self._freeze(node, context)
 
 
 class RandomNoiseStrategy(ByzantineStrategy):
@@ -140,6 +147,30 @@ class ExtremePushStrategy(ByzantineStrategy):
         return values
 
 
+def split_brain_recommended_inputs(
+    witness: PartitionWitness, low_value: float, high_value: float
+) -> dict[NodeId, float]:
+    """Return the necessity-proof input assignment for a violating partition.
+
+    Nodes in ``L`` get ``m = low_value``, nodes in ``R`` get
+    ``M = high_value``, nodes in ``C`` get the midpoint, and faulty nodes
+    get the midpoint as their nominal input — shared by the scalar and
+    batch-native split-brain strategies so the two attacks can never
+    desynchronize.
+    """
+    midpoint = (low_value + high_value) / 2.0
+    inputs: dict[NodeId, float] = {}
+    for node in witness.left:
+        inputs[node] = low_value
+    for node in witness.right:
+        inputs[node] = high_value
+    for node in witness.center:
+        inputs[node] = midpoint
+    for node in witness.faulty:
+        inputs[node] = midpoint
+    return inputs
+
+
 class SplitBrainStrategy(ByzantineStrategy):
     """The attack from the necessity proof of Theorem 1.
 
@@ -184,23 +215,9 @@ class SplitBrainStrategy(ByzantineStrategy):
         return self._witness
 
     def recommended_inputs(self) -> dict[NodeId, float]:
-        """Return the input assignment used by the necessity proof.
-
-        Nodes in ``L`` get ``m = low_value``, nodes in ``R`` get
-        ``M = high_value``, nodes in ``C`` get the midpoint, and faulty nodes
-        get the midpoint as their nominal input.
-        """
-        midpoint = (self._low + self._high) / 2.0
-        inputs: dict[NodeId, float] = {}
-        for node in self._witness.left:
-            inputs[node] = self._low
-        for node in self._witness.right:
-            inputs[node] = self._high
-        for node in self._witness.center:
-            inputs[node] = midpoint
-        for node in self._witness.faulty:
-            inputs[node] = midpoint
-        return inputs
+        """Return the input assignment used by the necessity proof
+        (see :func:`split_brain_recommended_inputs`)."""
+        return split_brain_recommended_inputs(self._witness, self._low, self._high)
 
     def outgoing_values(
         self, node: NodeId, context: AdversaryContext
@@ -228,9 +245,17 @@ class BroadcastConsistentStrategy(ByzantineStrategy):
     Under the broadcast model (Sundaram & Hadjicostis, LeBlanc et al.) a
     faulty node may lie but must send the **same** value to all of its
     out-neighbours.  This wrapper runs any inner strategy and collapses its
-    per-edge values to a single value (the one destined for the
-    lexicographically smallest out-neighbour), letting experiments quantify
-    how much power the adversary loses when it cannot equivocate.
+    per-edge values to a single value, letting experiments quantify how much
+    power the adversary loses when it cannot equivocate.
+
+    The chosen value is the one the inner strategy destined for the node's
+    ``repr``-smallest *fault-free* out-neighbour (values sent to faulty
+    neighbours never influence the dynamics — faulty nodes ignore their
+    inputs — so canonicalising on a fault-free edge keeps the collapse
+    meaningful and matches the batch-native
+    :class:`~repro.adversary.vectorized.BatchBroadcastConsistentWrapper`,
+    whose channel matrix only covers faulty→fault-free edges).  When every
+    out-neighbour is faulty the smallest out-neighbour overall is used.
     """
 
     name = "broadcast-consistent"
@@ -247,7 +272,15 @@ class BroadcastConsistentStrategy(ByzantineStrategy):
         neighbors = sorted(context.graph.out_neighbors(node), key=repr)
         if not neighbors:
             return {}
-        chosen = per_edge[neighbors[0]]
+        missing = [n for n in neighbors if n not in per_edge]
+        if missing:
+            raise InvalidParameterError(
+                f"inner strategy {self._inner.name!r} omitted out-neighbours "
+                f"{missing!r} of faulty node {node!r}; the broadcast wrapper "
+                "needs a value for every outgoing edge"
+            )
+        fault_free = [n for n in neighbors if n not in context.faulty]
+        chosen = per_edge[fault_free[0] if fault_free else neighbors[0]]
         return {neighbor: chosen for neighbor in neighbors}
 
     def nominal_value(self, node: NodeId, context: AdversaryContext) -> float:

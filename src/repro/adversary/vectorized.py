@@ -8,7 +8,7 @@ hook is batched as well: once per round the engine asks the strategy for the
 value on **every** faulty→fault-free channel of **every** batched execution
 in a single call returning a ``(B, E_f)`` array.
 
-Two bridges make the existing strategy zoo usable against the fast engine:
+Two layers make the strategy zoo usable against the fast engines:
 
 * :class:`ScalarStrategyAdapter` wraps any scalar
   :class:`~repro.adversary.base.ByzantineStrategy` (including the stateful and
@@ -16,10 +16,21 @@ Two bridges make the existing strategy zoo usable against the fast engine:
   batch row.  With ``B = 1`` the adapter reproduces the scalar engine's calls
   exactly — including call order and RNG consumption — which is what the
   round-for-round equivalence mode relies on.
-* :class:`BatchExtremePushStrategy` is a natively vectorized re-implementation
-  of :class:`~repro.adversary.strategies.ExtremePushStrategy` whose arithmetic
-  is bit-for-bit identical to the scalar version while running whole batches
-  per round.
+* A **batch-native strategy library** re-implements every scalar strategy as
+  array arithmetic over the ``(B, E_f)`` channel matrix, bit-for-bit identical
+  to the scalar versions while running whole batches per round:
+  :class:`BatchExtremePushStrategy`, :class:`BatchStaticValueStrategy`,
+  :class:`BatchSplitBrainStrategy` (witness-driven per-edge routing
+  precomputed as column masks), :class:`BatchFrozenValueStrategy` (per-row
+  frozen state), :class:`BatchRandomNoiseStrategy` (per-row
+  ``SeedSequence.spawn`` streams following the RNG-stream contract) and
+  :class:`BatchBroadcastConsistentWrapper` (collapses any batch strategy's
+  per-edge matrix to per-sender columns).
+
+Every native strategy is proven bit-exact against its adapter-wrapped scalar
+counterpart at ``B = 1`` and row-for-row reproducible at larger ``B`` by the
+parity harness in ``tests/test_adversary_batch.py``, on both the synchronous
+and the partially asynchronous vectorized engine.
 """
 
 from __future__ import annotations
@@ -31,9 +42,10 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.adversary.base import AdversaryContext, ByzantineStrategy
+from repro.adversary.strategies import split_brain_recommended_inputs
 from repro.exceptions import InvalidParameterError, SimulationError
 from repro.graphs.digraph import Digraph
-from repro.types import NodeId
+from repro.types import NodeId, PartitionWitness
 
 
 @dataclass(frozen=True)
@@ -188,6 +200,315 @@ class BatchExtremePushStrategy(BatchStrategy):
         )
 
 
+class _ChannelLayoutStrategy(BatchStrategy):
+    """Base for native strategies that precompute per-channel index arrays.
+
+    The engine hands the same ``edge_nodes`` tuple (and graph) to every
+    round's context, so whatever a strategy derives from the channel order —
+    column masks, draw positions, sender ranks — is computed once on first
+    use and reused for the whole run.  Driving one instance against a
+    different engine (different channel order or graph) transparently
+    rebuilds the layout.
+    """
+
+    def __init__(self) -> None:
+        self._layout_graph: Digraph | None = None
+        self._layout_key: tuple[tuple[NodeId, NodeId], ...] | None = None
+        self._layout: object = None
+
+    def _build_layout(self, context: BatchAdversaryContext) -> object:
+        """Return the strategy-specific precomputation for this context."""
+        raise NotImplementedError
+
+    def _layout_for(self, context: BatchAdversaryContext) -> object:
+        if self._layout_graph is not context.graph or (
+            self._layout_key is not context.edge_nodes
+            and self._layout_key != context.edge_nodes
+        ):
+            self._layout = self._build_layout(context)
+            self._layout_graph = context.graph
+            self._layout_key = context.edge_nodes
+        return self._layout
+
+
+class BatchStaticValueStrategy(BatchStrategy):
+    """Vectorized :class:`~repro.adversary.strategies.StaticValueStrategy`:
+    every channel of every execution carries the same constant."""
+
+    name = "batch-static-value"
+
+    def __init__(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The constant value sent on every channel."""
+        return self._value
+
+    def edge_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        return np.full(
+            (context.batch_size, len(context.edge_nodes)), self._value
+        )
+
+    def nominal_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        return np.full(
+            (context.batch_size, context.faulty_columns.shape[0]), self._value
+        )
+
+
+class BatchSplitBrainStrategy(_ChannelLayoutStrategy):
+    """Vectorized :class:`~repro.adversary.strategies.SplitBrainStrategy`.
+
+    The witness fixes what each channel carries for the whole execution:
+    ``low − margin`` into ``L``, ``high + margin`` into ``R``, the midpoint
+    elsewhere.  The per-edge routing is therefore precomputed once as a
+    length-``E_f`` column vector (receivers classified against the witness
+    sets) and broadcast over the batch each round — the round cost is
+    independent of ``|F|`` and of the witness size.
+    """
+
+    name = "batch-split-brain"
+
+    def __init__(
+        self,
+        witness: PartitionWitness,
+        low_value: float,
+        high_value: float,
+        margin: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if high_value <= low_value:
+            raise InvalidParameterError(
+                f"high_value ({high_value}) must exceed low_value ({low_value})"
+            )
+        if margin <= 0:
+            raise InvalidParameterError(f"margin must be > 0, got {margin}")
+        self._witness = witness
+        self._low = float(low_value)
+        self._high = float(high_value)
+        self._margin = float(margin)
+
+    @property
+    def witness(self) -> PartitionWitness:
+        """The violating partition the attack is built around."""
+        return self._witness
+
+    def recommended_inputs(self) -> dict[NodeId, float]:
+        """Return the necessity-proof input assignment (as the scalar class)."""
+        return split_brain_recommended_inputs(self._witness, self._low, self._high)
+
+    def _build_layout(self, context: BatchAdversaryContext) -> np.ndarray:
+        midpoint = (self._low + self._high) / 2.0
+        below = self._low - self._margin
+        above = self._high + self._margin
+        row = np.empty(len(context.edge_nodes), dtype=float)
+        for position, (_sender, receiver) in enumerate(context.edge_nodes):
+            if receiver in self._witness.left:
+                row[position] = below
+            elif receiver in self._witness.right:
+                row[position] = above
+            else:
+                row[position] = midpoint
+        return row
+
+    def edge_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        row = self._layout_for(context)
+        # Read-only broadcast view: the engines only gather from the channel
+        # matrix, so no per-round (B, E_f) materialisation is needed.
+        return np.broadcast_to(row, (context.batch_size, row.shape[0]))
+
+    def nominal_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        midpoint = (self._low + self._high) / 2.0
+        return np.full(
+            (context.batch_size, context.faulty_columns.shape[0]), midpoint
+        )
+
+
+class BatchFrozenValueStrategy(BatchStrategy):
+    """Vectorized :class:`~repro.adversary.strategies.FrozenValueStrategy`.
+
+    On first access (from either entry point — the scalar class's
+    call-order bug is absent by construction) the faulty columns of the
+    state matrix are snapshotted per row; every later round sends and
+    reports those frozen values.  The per-row snapshot is what finally makes
+    the frozen behaviour batch-safe: each execution freezes at *its own*
+    inputs, where sharing one scalar instance across rows would freeze every
+    row at the first row's state.
+    """
+
+    name = "batch-frozen-value"
+
+    def __init__(self) -> None:
+        self._frozen: np.ndarray | None = None
+
+    def _freeze(self, context: BatchAdversaryContext) -> np.ndarray:
+        if self._frozen is None:
+            self._frozen = np.array(context.state[:, context.faulty_columns])
+        if self._frozen.shape != (
+            context.batch_size,
+            context.faulty_columns.shape[0],
+        ):
+            raise InvalidParameterError(
+                f"BatchFrozenValueStrategy froze a "
+                f"{self._frozen.shape} state matrix but is now driven with "
+                f"batch {context.batch_size} x {context.faulty_columns.shape[0]} "
+                "faulty nodes; use a fresh instance per run"
+            )
+        return self._frozen
+
+    def edge_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        frozen = self._freeze(context)
+        # Channel e carries its sender's frozen value: map each channel's
+        # state column to the sender's position among the faulty columns.
+        sender_positions = np.searchsorted(
+            context.faulty_columns, context.edge_source_columns
+        )
+        return frozen[:, sender_positions]
+
+    def nominal_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        return np.array(self._freeze(context))
+
+
+class BatchRandomNoiseStrategy(_ChannelLayoutStrategy):
+    """Vectorized :class:`~repro.adversary.strategies.RandomNoiseStrategy`.
+
+    Every batch row owns an independent random stream derived via
+    ``SeedSequence.spawn`` (:func:`repro.simulation.vectorized_async.spawn_row_generators`,
+    the RNG-stream contract), so row ``b`` of any batch width draws exactly
+    what a ``B = 1`` run handed child stream ``b`` would draw.  Within a row
+    the draws replay the scalar strategy verbatim: one
+    ``uniform(low, high, size=out_degree)`` call per faulty sender in
+    canonical (repr-sorted) order, covering **all** out-neighbours —
+    including faulty receivers, whose draws are consumed and discarded purely
+    to keep the stream aligned with the scalar implementation.
+
+    Parameters
+    ----------
+    low, high:
+        Noise bounds, as for the scalar strategy.
+    rng:
+        Root seed for the per-row streams: an ``int`` /
+        :class:`numpy.random.SeedSequence` / ``None`` (spawned per row on
+        first use), a :class:`numpy.random.Generator` (its ``spawn`` supplies
+        the children), or an explicit sequence of per-row generators for
+        callers needing full control (e.g. the ``B = 1`` parity harness,
+        which hands the identical stream to the scalar strategy).
+    """
+
+    name = "batch-random-noise"
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        rng: object = None,
+    ) -> None:
+        super().__init__()
+        if high < low:
+            raise InvalidParameterError(
+                f"high ({high}) must be >= low ({low}) for random noise"
+            )
+        self._low = float(low)
+        self._high = float(high)
+        self._rng = rng
+        self._generators: list[np.random.Generator] | None = None
+
+    def _generators_for(self, batch: int) -> list[np.random.Generator]:
+        from repro.simulation.vectorized_async import spawn_row_generators
+
+        if self._generators is None:
+            self._generators = spawn_row_generators(self._rng, batch)
+        if len(self._generators) != batch:
+            raise InvalidParameterError(
+                f"BatchRandomNoiseStrategy spawned {len(self._generators)} "
+                f"row streams but is now driven with batch {batch}; use a "
+                "fresh instance per run"
+            )
+        return self._generators
+
+    def _build_layout(
+        self, context: BatchAdversaryContext
+    ) -> tuple[list[tuple[int, int]], np.ndarray]:
+        """Return ``(per-sender draw spans, channel -> draw position)``.
+
+        The draw vector of one row concatenates, per faulty sender in
+        repr-sorted order, one uniform block over that sender's repr-sorted
+        out-neighbours; ``positions[e]`` locates channel ``e``'s value in it.
+        """
+        channel_index = {
+            edge: position for position, edge in enumerate(context.edge_nodes)
+        }
+        spans: list[tuple[int, int]] = []
+        positions = np.zeros(len(context.edge_nodes), dtype=int)
+        offset = 0
+        for sender in sorted(context.faulty, key=repr):
+            neighbors = sorted(context.graph.out_neighbors(sender), key=repr)
+            spans.append((offset, len(neighbors)))
+            for rank, receiver in enumerate(neighbors):
+                channel = channel_index.get((sender, receiver))
+                if channel is not None:
+                    positions[channel] = offset + rank
+            offset += len(neighbors)
+        return spans, positions
+
+    def edge_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        spans, positions = self._layout_for(context)
+        generators = self._generators_for(context.batch_size)
+        total = sum(count for _offset, count in spans)
+        draws = np.empty((context.batch_size, total), dtype=float)
+        for row, generator in enumerate(generators):
+            for offset, count in spans:
+                draws[row, offset : offset + count] = generator.uniform(
+                    self._low, self._high, size=count
+                )
+        return draws[:, positions]
+
+
+class BatchBroadcastConsistentWrapper(_ChannelLayoutStrategy):
+    """Vectorized :class:`~repro.adversary.strategies.BroadcastConsistentStrategy`.
+
+    Collapses any inner batch strategy's per-edge channel matrix to
+    per-sender columns: every channel out of a faulty sender carries the
+    value the inner strategy destined for that sender's first channel in
+    canonical order — the edge to its ``repr``-smallest fault-free
+    out-neighbour, matching the scalar wrapper's canonicalisation.  Nominal
+    values pass through unchanged.
+    """
+
+    def __init__(self, inner: BatchStrategy) -> None:
+        super().__init__()
+        self._inner = inner
+        self.name = f"broadcast({inner.name})"
+
+    @property
+    def inner(self) -> BatchStrategy:
+        """The wrapped per-edge strategy."""
+        return self._inner
+
+    def _build_layout(self, context: BatchAdversaryContext) -> np.ndarray:
+        first_channel: dict[NodeId, int] = {}
+        source = np.zeros(len(context.edge_nodes), dtype=int)
+        for position, (sender, _receiver) in enumerate(context.edge_nodes):
+            source[position] = first_channel.setdefault(sender, position)
+        return source
+
+    def edge_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        source = self._layout_for(context)
+        inner_values = np.asarray(
+            self._inner.edge_values(context), dtype=float
+        )
+        expected = (context.batch_size, len(context.edge_nodes))
+        if inner_values.shape != expected:
+            raise SimulationError(
+                f"inner batch strategy {self._inner.name!r} returned edge "
+                f"values of shape {inner_values.shape}; expected {expected}"
+            )
+        return inner_values[:, source]
+
+    def nominal_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        return self._inner.nominal_values(context)
+
+
 class ScalarStrategyAdapter(BatchStrategy):
     """Drive any scalar :class:`ByzantineStrategy` against the batch engine.
 
@@ -210,9 +531,10 @@ class ScalarStrategyAdapter(BatchStrategy):
     :class:`~repro.adversary.base.AdversaryContext` and interrogates the
     strategy in the same order as
     :meth:`repro.simulation.engine.SynchronousEngine.step` — all
-    ``outgoing_values`` calls (iterating the faulty frozenset) before any
-    ``nominal_value`` call — so RNG-backed strategies consume draws
-    identically and ``B = 1`` runs are bit-exact with the scalar engine.
+    ``outgoing_values`` calls (faulty senders in canonical repr-sorted
+    order) before any ``nominal_value`` call — so RNG-backed strategies
+    consume draws identically and ``B = 1`` runs are bit-exact with the
+    scalar engine.
     """
 
     def __init__(
@@ -276,9 +598,9 @@ class ScalarStrategyAdapter(BatchStrategy):
         for row in range(batch):
             scalar_context = self._scalar_context(context, row)
             strategy = self._strategy_for_row(row)
-            # Iterate the frozenset directly to match the scalar engine's
-            # per-node call order (relevant for RNG-consuming strategies).
-            for sender in context.faulty:
+            # Canonical (repr-sorted) sender order — the scalar engines'
+            # call order (relevant for RNG-consuming strategies).
+            for sender in sorted(context.faulty, key=repr):
                 outgoing = strategy.outgoing_values(sender, scalar_context)
                 missing = context.graph.out_neighbors(sender) - outgoing.keys()
                 if missing:

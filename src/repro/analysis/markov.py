@@ -20,6 +20,7 @@ diagonal at least ``α``.  This module provides:
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -134,6 +135,4 @@ def predicted_rounds_linear(
     modulus = second_largest_eigenvalue_modulus(linear_average_matrix(graph))
     if modulus >= 1.0 or modulus <= 0.0:
         return 0
-    import math
-
     return int(math.ceil(math.log(tolerance / initial_spread) / math.log(modulus)))

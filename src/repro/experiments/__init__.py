@@ -50,6 +50,7 @@ from repro.experiments.necessity import (
     demonstrate_necessity,
     necessity_cell,
     necessity_rows,
+    split_brain_stall_study,
 )
 from repro.experiments.reporting import (
     format_table,
@@ -60,6 +61,13 @@ from repro.experiments.robustness import (
     default_robustness_cases,
     robustness_cell,
     robustness_comparison,
+)
+from repro.experiments.showdown import (
+    SHOWDOWN_STRATEGIES,
+    adversary_showdown,
+    adversary_showdown_cell,
+    default_showdown_cases,
+    make_showdown_strategy,
 )
 from repro.experiments.validity import (
     adversary_zoo,
@@ -104,12 +112,18 @@ __all__ = [
     "demonstrate_necessity",
     "necessity_cell",
     "necessity_rows",
+    "split_brain_stall_study",
     "format_table",
     "print_table",
     "summarize_booleans",
     "default_robustness_cases",
     "robustness_cell",
     "robustness_comparison",
+    "SHOWDOWN_STRATEGIES",
+    "adversary_showdown",
+    "adversary_showdown_cell",
+    "default_showdown_cases",
+    "make_showdown_strategy",
     "adversary_zoo",
     "count_validity_failures",
     "default_validity_graphs",

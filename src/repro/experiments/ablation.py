@@ -16,6 +16,11 @@ from __future__ import annotations
 from repro.adversary.base import ByzantineStrategy
 from repro.adversary.selection import highest_out_degree_fault_set
 from repro.adversary.strategies import ExtremePushStrategy, StaticValueStrategy
+from repro.adversary.vectorized import (
+    BatchExtremePushStrategy,
+    BatchStaticValueStrategy,
+    BatchStrategy,
+)
 from repro.algorithms.base import UpdateRule
 from repro.algorithms.linear import LinearAverageRule, MedianRule
 from repro.algorithms.trimmed_mean import TrimmedMeanRule, TrimmedMidpointRule
@@ -24,6 +29,7 @@ from repro.graphs.digraph import Digraph
 from repro.graphs.generators import complete_graph, core_network
 from repro.simulation.engine import run_synchronous
 from repro.simulation.inputs import linear_ramp_inputs
+from repro.simulation.vectorized import VectorizedEngine, run_vectorized
 from repro.sweeps.registry import register_experiment, select_labelled_case
 
 
@@ -47,13 +53,25 @@ def rule_zoo(f: int) -> list[UpdateRule]:
     ]
 
 
-def adversaries_for_ablation() -> list[ByzantineStrategy]:
-    """Return the two adversaries used by the ablation (one per failure mode).
+def adversaries_for_ablation() -> list[tuple[str, ByzantineStrategy, BatchStrategy]]:
+    """Return the two ablation adversaries (one per failure mode), each as a
+    ``(label, scalar strategy, bit-exact batch-native strategy)`` pair.
 
     The static far-away value exposes validity violations of averaging rules;
     the extreme-pushing adversary stresses convergence.
     """
-    return [StaticValueStrategy(1000.0), ExtremePushStrategy(delta=5.0)]
+    return [
+        (
+            "static-value",
+            StaticValueStrategy(1000.0),
+            BatchStaticValueStrategy(1000.0),
+        ),
+        (
+            "extreme-push",
+            ExtremePushStrategy(delta=5.0),
+            BatchExtremePushStrategy(delta=5.0),
+        ),
+    ]
 
 
 def algorithm_ablation(
@@ -61,7 +79,13 @@ def algorithm_ablation(
     rounds: int = 150,
     tolerance: float = 1e-6,
 ) -> list[dict[str, object]]:
-    """Cross every (graph, rule, adversary) combination and record outcomes."""
+    """Cross every (graph, rule, adversary) combination and record outcomes.
+
+    Trimmed rules execute on the vectorized engine driven by the
+    batch-native adversaries (bit-exact with the scalar pair); rules without
+    a vectorized kernel (W-MSR, median, linear average) keep the scalar
+    engine and the scalar strategies.
+    """
     chosen = graphs if graphs is not None else default_ablation_graphs()
     rows: list[dict[str, object]] = []
     for label, graph, f in chosen:
@@ -74,16 +98,30 @@ def algorithm_ablation(
             value for node, value in inputs.items() if node not in faulty
         )
         for rule in rule_zoo(f):
-            for adversary in adversaries_for_ablation():
-                outcome = run_synchronous(
-                    graph=graph,
-                    rule=rule,
-                    inputs=inputs,
-                    faulty=faulty,
-                    adversary=adversary,
-                    max_rounds=rounds,
-                    tolerance=tolerance,
-                )
+            vectorized = VectorizedEngine.supports_rule(rule)
+            for adversary_label, scalar_adversary, batch_adversary in (
+                adversaries_for_ablation()
+            ):
+                if vectorized:
+                    outcome = run_vectorized(
+                        graph=graph,
+                        rule=rule,
+                        inputs=inputs,
+                        faulty=faulty,
+                        adversary=batch_adversary,
+                        max_rounds=rounds,
+                        tolerance=tolerance,
+                    )
+                else:
+                    outcome = run_synchronous(
+                        graph=graph,
+                        rule=rule,
+                        inputs=inputs,
+                        faulty=faulty,
+                        adversary=scalar_adversary,
+                        max_rounds=rounds,
+                        tolerance=tolerance,
+                    )
                 final_within_hull = all(
                     hull_low - 1e-9 <= value <= hull_high + 1e-9
                     for value in outcome.final_values.values()
@@ -93,7 +131,8 @@ def algorithm_ablation(
                         "graph": label,
                         "f": f,
                         "rule": rule.name,
-                        "adversary": adversary.name,
+                        "adversary": adversary_label,
+                        "engine": "vectorized" if vectorized else "scalar",
                         "converged": outcome.converged,
                         "validity_ok": outcome.validity_ok,
                         "final_within_input_hull": final_within_hull,
@@ -135,7 +174,7 @@ def ablation_summary(rows: list[dict[str, object]]) -> list[dict[str, object]]:
         "Trimmed mean and W-MSR stay valid and converge under attack; the "
         "non-fault-tolerant linear average is dragged out of the input hull."
     ),
-    engine="scalar-sync",
+    engine="mixed",
     grid={
         "graph": tuple(label for label, _, _ in default_ablation_graphs()),
         "rounds": (150,),

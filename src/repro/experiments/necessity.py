@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.adversary.strategies import SplitBrainStrategy
+from repro.adversary.vectorized import BatchSplitBrainStrategy
 from repro.algorithms.base import UpdateRule
 from repro.algorithms.trimmed_mean import TrimmedMeanRule
 from repro.conditions.necessary import find_violating_partition, verify_witness
@@ -31,8 +34,14 @@ from repro.conditions.witnesses import (
 from repro.exceptions import InvalidParameterError
 from repro.graphs.digraph import Digraph
 from repro.graphs.generators import chord_network, hypercube, undirected_ring
-from repro.simulation.engine import run_synchronous
+from repro.simulation.engine import SimulationConfig, run_synchronous
 from repro.simulation.inputs import split_inputs_from_witness
+from repro.simulation.vectorized import (
+    BatchOutcome,
+    BatchRunner,
+    VectorizedEngine,
+    run_vectorized,
+)
 from repro.sweeps.registry import register_experiment, select_labelled_case
 from repro.types import ConsensusOutcome, PartitionWitness
 
@@ -91,23 +100,41 @@ def demonstrate_necessity(
             "condition on this graph"
         )
     chosen_rule = rule if rule is not None else TrimmedMeanRule(f)
-    adversary = SplitBrainStrategy(
-        witness, low_value=low_value, high_value=high_value, margin=1.0
-    )
     inputs = split_inputs_from_witness(
         witness, low_value=low_value, high_value=high_value
     )
-    outcome = run_synchronous(
-        graph=graph,
-        rule=chosen_rule,
-        inputs=inputs,
-        faulty=witness.faulty,
-        adversary=adversary,
-        max_rounds=rounds,
-        tolerance=1e-9,
-        record_history=True,
-        stop_on_convergence=True,
-    )
+    # Trimmed rules run on the vectorized engine with the batch-native
+    # split-brain attack (bit-exact with the scalar pair and ~an order of
+    # magnitude faster); rules without a vectorized kernel keep the
+    # scalar path.
+    if VectorizedEngine.supports_rule(chosen_rule):
+        outcome = run_vectorized(
+            graph=graph,
+            rule=chosen_rule,
+            inputs=inputs,
+            faulty=witness.faulty,
+            adversary=BatchSplitBrainStrategy(
+                witness, low_value=low_value, high_value=high_value, margin=1.0
+            ),
+            max_rounds=rounds,
+            tolerance=1e-9,
+            record_history=True,
+            stop_on_convergence=True,
+        )
+    else:
+        outcome = run_synchronous(
+            graph=graph,
+            rule=chosen_rule,
+            inputs=inputs,
+            faulty=witness.faulty,
+            adversary=SplitBrainStrategy(
+                witness, low_value=low_value, high_value=high_value, margin=1.0
+            ),
+            max_rounds=rounds,
+            tolerance=1e-9,
+            record_history=True,
+            stop_on_convergence=True,
+        )
     gap = high_value - low_value
     stalled = outcome.final_spread >= gap - 1e-9
     left_stuck = all(
@@ -125,6 +152,52 @@ def demonstrate_necessity(
         left_stuck=left_stuck,
         right_stuck=right_stuck,
     )
+
+
+def split_brain_stall_study(
+    graph: Digraph,
+    f: int,
+    witness: PartitionWitness,
+    batch: int = 16,
+    rounds: int = 120,
+    seed: int = 0,
+    low_value: float = 0.0,
+    high_value: float = 1.0,
+) -> tuple[BatchOutcome, float]:
+    """Monte-Carlo batch of the necessity attack on one violating partition.
+
+    Every row pins ``L`` at ``low_value`` and ``R`` at ``high_value`` (the
+    proof's requirement) and draws the centre and faulty inputs uniformly in
+    between, so the batch samples the attack over many legitimate input
+    assignments.  Returns the batch outcome and the fraction of executions
+    stalled at the full ``high_value − low_value`` gap — 1.0 whenever the
+    witness is genuine.  Shared by the robustness comparison and the
+    ``adversary_showdown`` sweep.
+    """
+    strategy = BatchSplitBrainStrategy(
+        witness, low_value=low_value, high_value=high_value, margin=1.0
+    )
+    runner = BatchRunner(
+        graph=graph,
+        rule=TrimmedMeanRule(f),
+        faulty=witness.faulty,
+        adversary=strategy,
+        config=SimulationConfig(
+            max_rounds=rounds, tolerance=1e-9, record_history=False
+        ),
+    )
+    base = strategy.recommended_inputs()
+    rng = np.random.default_rng(seed)
+    inputs = []
+    for _ in range(batch):
+        row = dict(base)
+        for node in witness.center | witness.faulty:
+            row[node] = float(rng.uniform(low_value, high_value))
+        inputs.append(row)
+    outcome = runner.run(inputs)
+    gap = high_value - low_value
+    stalled = float((outcome.final_spread >= gap - 1e-9).mean())
+    return outcome, stalled
 
 
 def necessity_rows(
@@ -177,7 +250,7 @@ def default_necessity_cases() -> list[tuple[str, Digraph, int, PartitionWitness 
         "On condition-violating graphs the split-brain adversary pins the "
         "two partition sides apart forever while validity still holds."
     ),
-    engine="scalar-sync",
+    engine="vectorized",
     grid={
         "case": (
             "chord n=7 f=2",

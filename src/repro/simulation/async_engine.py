@@ -207,12 +207,12 @@ class PartiallyAsynchronousEngine:
                 faulty=self._faulty,
                 f=self._rule.f,
             )
-            # 1. Faulty nodes choose their per-edge values.  Iterating the
-            #    faulty frozenset directly matches the synchronous engine and
-            #    ScalarStrategyAdapter call order, so RNG-backed strategies
-            #    consume their own draws identically everywhere.
+            # 1. Faulty nodes choose their per-edge values, in canonical
+            #    (repr-sorted) sender order — the same contract as the
+            #    synchronous engine and ScalarStrategyAdapter, so RNG-backed
+            #    strategies consume their own draws identically everywhere.
             faulty_messages: dict[NodeId, dict[NodeId, float]] = {}
-            for node in self._faulty:
+            for node in sorted(self._faulty, key=repr):
                 outgoing = self._adversary.outgoing_values(node, context)
                 missing_targets = graph.out_neighbors(node) - outgoing.keys()
                 if missing_targets:

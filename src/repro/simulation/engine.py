@@ -169,9 +169,12 @@ class SynchronousEngine:
             faulty=self._faulty,
             f=self._rule.f,
         )
-        # What each faulty node places on each of its outgoing edges.
+        # What each faulty node places on each of its outgoing edges.  The
+        # RNG-stream contract extends to the adversary layer: strategies are
+        # interrogated in canonical (repr-sorted) sender order, so RNG-backed
+        # strategies consume draws reproducibly across processes and engines.
         faulty_messages: dict[NodeId, dict[NodeId, float]] = {}
-        for node in self._faulty:
+        for node in sorted(self._faulty, key=repr):
             outgoing = self._adversary.outgoing_values(node, context)
             missing = graph.out_neighbors(node) - outgoing.keys()
             if missing:

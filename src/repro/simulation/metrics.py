@@ -68,14 +68,21 @@ class ValidityTracker:
     Feed it ``(µ[t], U[t])`` once per round (round 0 first); it records
     whether the interval ``[µ[t], U[t]]`` ever expanded.  ``ok`` stays true
     exactly when validity (eq. 1) held at every observed round.
+
+    Each round is compared against the *tightest* interval observed so far,
+    not merely the previous round's: per-round comparison would grant fresh
+    slack every round, letting the hull drift by ``rounds × slack`` without
+    ever flagging a violation.  Against the running tightest interval the
+    total tolerated drift is bounded by one ``slack`` for the whole execution.
     """
 
     slack: float = VALIDITY_TOLERANCE
     ok: bool = True
     rounds_observed: int = 0
     first_violation_round: int | None = None
-    _previous_min: float = field(default=float("-inf"), init=False)
-    _previous_max: float = field(default=float("inf"), init=False)
+    _tightest_min: float = field(default=float("-inf"), init=False)
+    _tightest_max: float = field(default=float("inf"), init=False)
+    _initial: tuple[float, float] | None = field(default=None, init=False)
 
     def observe(self, minimum: float, maximum: float) -> None:
         """Record the fault-free extremes of the next round."""
@@ -83,25 +90,22 @@ class ValidityTracker:
             raise InvalidParameterError(
                 f"minimum ({minimum}) cannot exceed maximum ({maximum})"
             )
-        if self.rounds_observed > 0:
-            expanded_up = maximum > self._previous_max + self.slack
-            expanded_down = minimum < self._previous_min - self.slack
+        if self.rounds_observed == 0:
+            self._initial = (minimum, maximum)
+        else:
+            expanded_up = maximum > self._tightest_max + self.slack
+            expanded_down = minimum < self._tightest_min - self.slack
             if (expanded_up or expanded_down) and self.ok:
                 self.ok = False
                 self.first_violation_round = self.rounds_observed
-        self._previous_min = minimum
-        self._previous_max = maximum
+        self._tightest_min = max(self._tightest_min, minimum)
+        self._tightest_max = min(self._tightest_max, maximum)
         self.rounds_observed += 1
 
     @property
     def initial_interval(self) -> tuple[float, float] | None:
-        """Return the first observed interval, or ``None`` before any observation."""
-        if self.rounds_observed == 0:
-            return None
-        # The tracker only stores the latest interval; callers that need the
-        # initial hull should read it from the execution trace.  This property
-        # exists to keep the dataclass honest about what it can answer.
-        return None
+        """Return ``(µ[0], U[0])``, or ``None`` before any observation."""
+        return self._initial
 
 
 def empirical_contraction_ratios(spreads: Iterable[float]) -> list[float]:

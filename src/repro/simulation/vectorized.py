@@ -148,6 +148,16 @@ class VectorizedEngine:
         automatically), or ``None`` for protocol-following faulty nodes.
     """
 
+    #: Update rules the vectorized kernel implements; everything else must
+    #: use the scalar engine.  Callers choosing an engine should go through
+    #: :meth:`supports_rule` rather than repeating this list.
+    SUPPORTED_RULES: tuple[type, ...] = (TrimmedMeanRule, TrimmedMidpointRule)
+
+    @classmethod
+    def supports_rule(cls, rule: UpdateRule) -> bool:
+        """Return whether this engine has a vectorized kernel for ``rule``."""
+        return isinstance(rule, cls.SUPPORTED_RULES)
+
     def __init__(
         self,
         graph: Digraph,
@@ -493,7 +503,10 @@ class VectorizedEngine:
         maxs = state[:, ff].max(axis=1)
         initial_spread = maxs - mins
         spread = initial_spread.copy()
-        prev_min, prev_max = mins, maxs
+        # Running tightest interval per row, mirroring ValidityTracker: a
+        # per-round comparison would grant fresh slack every round and let
+        # the hull drift by rounds x slack undetected.
+        tight_min, tight_max = mins.copy(), maxs.copy()
         validity_ok = np.ones(batch, dtype=bool)
         rounds_executed = np.zeros(batch, dtype=int)
         converged = (
@@ -515,8 +528,8 @@ class VectorizedEngine:
             mins = state[:, ff].min(axis=1)
             maxs = state[:, ff].max(axis=1)
             expanded = active & (
-                (maxs > prev_max + VALIDITY_TOLERANCE)
-                | (mins < prev_min - VALIDITY_TOLERANCE)
+                (maxs > tight_max + VALIDITY_TOLERANCE)
+                | (mins < tight_min - VALIDITY_TOLERANCE)
             )
             if config.strict_validity and expanded.any():
                 row = int(np.flatnonzero(expanded)[0])
@@ -526,7 +539,8 @@ class VectorizedEngine:
                     f"[{mins[row]}, {maxs[row]}]"
                 )
             validity_ok &= ~expanded
-            prev_min, prev_max = mins, maxs
+            tight_min = np.maximum(tight_min, mins)
+            tight_max = np.minimum(tight_max, maxs)
             spread = maxs - mins
             if history is not None:
                 history.append(spread.copy())

@@ -67,6 +67,21 @@ class TestStrategies:
         assert strategy.outgoing_values(0, later)[1] == 7.0
         assert strategy.nominal_value(0, later) == 7.0
 
+    def test_frozen_value_is_call_order_independent(self):
+        """``nominal_value`` before ``outgoing_values`` freezes too.
+
+        The pre-fix implementation only froze in ``outgoing_values``, so a
+        leading ``nominal_value`` call reported a state that could disagree
+        with the values later sent on the edges.
+        """
+        graph = complete_graph(3)
+        strategy = FrozenValueStrategy()
+        first = make_context(graph, {0: 7.0, 1: 1.0, 2: 2.0}, faulty={0})
+        later = make_context(graph, {0: 99.0, 1: 1.0, 2: 2.0}, faulty={0}, round_index=5)
+        assert strategy.nominal_value(0, first) == 7.0
+        assert strategy.outgoing_values(0, later)[1] == 7.0
+        assert strategy.nominal_value(0, later) == 7.0
+
     def test_random_noise_within_bounds_and_deterministic(self):
         graph = complete_graph(4)
         context = make_context(graph, {node: 0.0 for node in graph.nodes}, faulty={0})
@@ -132,6 +147,35 @@ class TestStrategies:
         values = wrapped.outgoing_values(3, context)
         assert len(set(values.values())) == 1
         assert "broadcast(" in wrapped.name
+
+    def test_broadcast_wrapper_canonicalises_on_fault_free_edge(self):
+        """The collapsed value is the one destined for the repr-smallest
+        fault-free out-neighbour, even when a faulty neighbour sorts first."""
+        graph = complete_graph(4)
+        context = make_context(
+            graph, {0: 0.0, 1: 0.0, 2: 1.0, 3: 0.5}, faulty={0, 3}, f=2
+        )
+        # ExtremePush sends low to node 1 (below midpoint) and high to node 2;
+        # node 0 is faulty, so the broadcast value must be node 1's.
+        wrapped = BroadcastConsistentStrategy(ExtremePushStrategy(delta=1.0))
+        inner = ExtremePushStrategy(delta=1.0).outgoing_values(3, context)
+        values = wrapped.outgoing_values(3, context)
+        assert set(values.values()) == {inner[1]}
+
+    def test_broadcast_wrapper_rejects_incomplete_inner_result(self):
+        """A descriptive error replaces the pre-fix bare ``KeyError``."""
+
+        class Omits(ExtremePushStrategy):
+            def outgoing_values(self, node, context):
+                values = super().outgoing_values(node, context)
+                del values[min(values, key=repr)]
+                return values
+
+        graph = complete_graph(4)
+        context = make_context(graph, {0: 0.0, 1: 0.0, 2: 1.0, 3: 0.5}, faulty={3})
+        wrapped = BroadcastConsistentStrategy(Omits(delta=1.0))
+        with pytest.raises(InvalidParameterError, match="omitted out-neighbours"):
+            wrapped.outgoing_values(3, context)
 
 
 class TestFaultSelection:

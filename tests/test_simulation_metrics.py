@@ -81,6 +81,89 @@ class TestValidityTracker:
         with pytest.raises(InvalidParameterError):
             tracker.observe(1.0, 0.0)
 
+    def test_slow_drift_regression(self):
+        """Sub-slack expansion every round must not accumulate unnoticed.
+
+        The pre-fix implementation compared each round only to the previous
+        round with fresh slack, so a per-round expansion of ``slack/2``
+        drifted the hull arbitrarily far without ever flagging a violation.
+        """
+        tracker = ValidityTracker()
+        step = tracker.slack / 2.0
+        tracker.observe(0.0, 1.0)
+        for round_index in range(1, 10):
+            tracker.observe(0.0, 1.0 + round_index * step)
+        assert not tracker.ok
+        # Rounds 1 and 2 are within one total slack of the round-0 hull;
+        # round 3 (1.0 + 1.5 * slack) is the first genuine escape.
+        assert tracker.first_violation_round == 3
+
+    def test_total_slack_bounded_once(self):
+        tracker = ValidityTracker()
+        tracker.observe(0.0, 1.0)
+        tracker.observe(0.0, 1.0 + tracker.slack / 2.0)
+        tracker.observe(0.0, 1.0 + tracker.slack / 2.0)
+        assert tracker.ok
+
+    def test_downward_drift_detected(self):
+        tracker = ValidityTracker()
+        step = tracker.slack / 2.0
+        tracker.observe(0.0, 1.0)
+        for round_index in range(1, 10):
+            tracker.observe(-round_index * step, 1.0)
+        assert not tracker.ok
+        assert tracker.first_violation_round == 3
+
+    def test_recovery_does_not_reset_the_hull(self):
+        """A round that re-tightens never forgives an earlier tightest bound."""
+        tracker = ValidityTracker()
+        tracker.observe(0.0, 1.0)
+        tracker.observe(0.2, 0.5)  # tightest hull is now [0.2, 0.5]
+        tracker.observe(0.1, 0.6)  # outside the tightest hull -> violation
+        assert not tracker.ok
+        assert tracker.first_violation_round == 2
+
+    def test_initial_interval_recorded(self):
+        tracker = ValidityTracker()
+        assert tracker.initial_interval is None
+        tracker.observe(-1.5, 2.5)
+        assert tracker.initial_interval == (-1.5, 2.5)
+        tracker.observe(0.0, 1.0)
+        assert tracker.initial_interval == (-1.5, 2.5)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_property_monotone_hull_always_passes(self, seed):
+        """Any execution whose hull only tightens satisfies validity."""
+        rng = np.random.default_rng(seed)
+        low, high = 0.0, 1.0
+        tracker = ValidityTracker()
+        tracker.observe(low, high)
+        for _ in range(40):
+            low = low + rng.uniform(0.0, 0.4) * (high - low)
+            high = high - rng.uniform(0.0, 0.4) * (high - low)
+            tracker.observe(low, high)
+        assert tracker.ok
+        assert tracker.first_violation_round is None
+        assert tracker.initial_interval == (0.0, 1.0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_property_single_expansion_flags_correct_round(self, seed):
+        """One expansion beyond slack fails with the exact violating round."""
+        rng = np.random.default_rng(100 + seed)
+        violation_round = int(rng.integers(1, 30))
+        low, high = 0.0, 1.0
+        tracker = ValidityTracker()
+        tracker.observe(low, high)
+        for round_index in range(1, 31):
+            if round_index == violation_round:
+                high = high + 10.0 * tracker.slack
+            else:
+                shrink = rng.uniform(0.0, 0.1) * (high - low)
+                low, high = low + shrink, high - shrink
+            tracker.observe(low, high)
+        assert not tracker.ok
+        assert tracker.first_violation_round == violation_round
+
 
 class TestContractionRatios:
     def test_ratios(self):

@@ -19,9 +19,11 @@ from repro.sweeps.registry import all_experiments, get_experiment
 from repro.sweeps.store import RunStore, numeric_columns
 
 #: The registered experiments every release must provide: the nine paper
-#: experiments plus the ``checker_scaling`` sweep over the bitset checker.
+#: experiments plus the ``checker_scaling`` sweep over the bitset checker
+#: and the ``adversary_showdown`` sweep over the batch-native strategies.
 EXPECTED_EXPERIMENTS = {
     "ablation",
+    "adversary_showdown",
     "asynchronous",
     "checker",
     "checker_scaling",
