@@ -11,6 +11,10 @@
 #                    -> BENCH_adversary.json
 #   make bench-adversary-smoke tiny-n equivalence-guarded adversary benchmark
 #                    run (no file written; CI runs this on every push)
+#   make bench-scale sparse-engine scale benchmark up to n=10^5
+#                    -> BENCH_scale.json
+#   make bench-scale-smoke tiny-n scale run: scalar/dense/sparse equivalence
+#                    guards only (no file written; CI runs this on every push)
 #   make docs-check  docs exist, examples in them import, docstrings covered
 #   make sweep-smoke end-to-end CLI sweep: run a tiny sharded grid with two
 #                    workers, then re-open it with `repro report`
@@ -25,9 +29,10 @@ DOCSTRING_GATE = $(PYTHON) tools/check_docstrings.py \
 	--root src/repro --root benchmarks \
 	--require repro.cli --require repro.sweeps.registry \
 	--require repro.sweeps.orchestrator --require repro.sweeps.store \
-	--require repro.conditions.bitset --require repro.adversary.vectorized
+	--require repro.conditions.bitset --require repro.adversary.vectorized \
+	--require repro.simulation.sparse
 
-.PHONY: test test-fast bench bench-async bench-checker bench-checker-smoke bench-adversary bench-adversary-smoke docs-check sweep-smoke
+.PHONY: test test-fast bench bench-async bench-checker bench-checker-smoke bench-adversary bench-adversary-smoke bench-scale bench-scale-smoke docs-check sweep-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -54,6 +59,13 @@ bench-adversary:
 
 bench-adversary-smoke:
 	$(PYTHON) benchmarks/bench_adversary.py --smoke
+
+bench-scale:
+	$(PYTHON) benchmarks/bench_scale.py
+
+bench-scale-smoke:
+	$(PYTHON) benchmarks/bench_scale.py --smoke
+	@git diff --quiet -- BENCH_scale.json || { echo "bench-scale-smoke must not modify BENCH_scale.json"; exit 1; }
 
 docs-check:
 	@test -f README.md || { echo "README.md missing"; exit 1; }

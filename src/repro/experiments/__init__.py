@@ -57,6 +57,12 @@ from repro.experiments.reporting import (
     print_table,
     summarize_booleans,
 )
+from repro.experiments.scale import (
+    SCALE_DTYPES,
+    default_scale_sizes,
+    large_n_cell,
+    large_n_study,
+)
 from repro.experiments.robustness import (
     default_robustness_cases,
     robustness_cell,
@@ -119,6 +125,10 @@ __all__ = [
     "default_robustness_cases",
     "robustness_cell",
     "robustness_comparison",
+    "SCALE_DTYPES",
+    "default_scale_sizes",
+    "large_n_cell",
+    "large_n_study",
     "SHOWDOWN_STRATEGIES",
     "adversary_showdown",
     "adversary_showdown_cell",

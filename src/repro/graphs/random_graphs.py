@@ -98,6 +98,57 @@ def k_in_regular_digraph(
     return graph
 
 
+def heterogeneous_ring_lattice(
+    n: int,
+    f: int,
+    extra_mean: float = 2.0,
+    rng: np.random.Generator | int | None = None,
+) -> Digraph:
+    """Return a large sparse digraph with heterogeneous in-degrees: a
+    symmetric ring lattice (``k = f + 1`` neighbours per side, so every node
+    starts above the ``2f`` trim floor) plus ``Poisson(extra_mean)`` extra
+    random in-edges per node.
+
+    This is the scale-out family of the ``large_n`` experiment and
+    ``benchmarks/bench_scale.py``: in-degrees spread over dozens of distinct
+    values (exercising the sparse engine's bucket-major plane across many
+    degree buckets) while the edge count stays ``O(n)``, so ``n = 10^5`` is
+    cheap to build.  Construction is vectorized — the ring offsets and the
+    extra-edge endpoints are drawn as flat NumPy arrays, not per-node Python
+    loops.
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if extra_mean < 0:
+        raise InvalidParameterError(f"extra_mean must be >= 0, got {extra_mean}")
+    k = f + 1
+    if 2 * k >= n:
+        raise InvalidParameterError(
+            f"heterogeneous ring lattice requires n > 2(f + 1); got n={n}, f={f}"
+        )
+    generator = _as_rng(rng)
+    targets = np.arange(n, dtype=np.int64)
+    ring_sources = []
+    ring_targets = []
+    for offset in range(1, k + 1):
+        for signed in (offset, -offset):
+            ring_sources.append((targets + signed) % n)
+            ring_targets.append(targets)
+    counts = generator.poisson(extra_mean, size=n)
+    extra_targets = np.repeat(targets, counts)
+    # Draw in [0, n - 1) and shift past the target to exclude self-loops.
+    extra_sources = generator.integers(0, n - 1, size=extra_targets.size)
+    extra_sources = np.where(
+        extra_sources >= extra_targets, extra_sources + 1, extra_sources
+    )
+    sources = np.concatenate(ring_sources + [extra_sources])
+    all_targets = np.concatenate(ring_targets + [extra_targets])
+    return Digraph(
+        nodes=range(n),
+        edges=zip(sources.tolist(), all_targets.tolist()),
+    )
+
+
 def random_core_like_network(
     n: int,
     f: int,

@@ -27,6 +27,11 @@ from repro.simulation.metrics import (
     within_hull,
 )
 from repro.simulation.run import run_consensus
+from repro.simulation.sparse import (
+    SparseEngine,
+    run_sparse,
+    sparse_cross_check_engines,
+)
 from repro.simulation.trace import ExecutionTrace, spreads_from_records
 from repro.simulation.vectorized import (
     BatchOutcome,
@@ -48,8 +53,11 @@ __all__ = [
     "BatchOutcome",
     "BatchRunner",
     "EquivalenceReport",
+    "SparseEngine",
     "VectorizedEngine",
     "VectorizedAsyncEngine",
+    "run_sparse",
+    "sparse_cross_check_engines",
     "async_cross_check_engines",
     "canonical_edge_order",
     "cross_check_engines",

@@ -153,6 +153,12 @@ class VectorizedEngine:
     #: :meth:`supports_rule` rather than repeating this list.
     SUPPORTED_RULES: tuple[type, ...] = (TrimmedMeanRule, TrimmedMidpointRule)
 
+    #: State dtype used by :meth:`pack_inputs` / :meth:`step_matrix`.  The
+    #: dense engine is float64-only (bit-exactness with the scalar engine is
+    #: its contract); :class:`~repro.simulation.sparse.SparseEngine` shadows
+    #: this with an instance attribute to offer an opt-in float32 tier.
+    _dtype: np.dtype = np.dtype(np.float64)
+
     @classmethod
     def supports_rule(cls, rule: UpdateRule) -> bool:
         """Return whether this engine has a vectorized kernel for ``rule``."""
@@ -197,6 +203,27 @@ class VectorizedEngine:
 
         self._build_index_arrays()
 
+    def _build_node_columns(self) -> None:
+        """Set up the canonical node → column maps shared by every engine.
+
+        Nodes are sorted by ``repr`` (the scalar engine's deterministic
+        tie-break) and split into faulty and fault-free column index arrays.
+        Both the dense and the sparse engine derive their gather structures
+        and the canonical channel order from this layout.
+        """
+        self._nodes: tuple[NodeId, ...] = tuple(
+            sorted(self._graph.nodes, key=repr)
+        )
+        self._column = {node: index for index, node in enumerate(self._nodes)}
+        self._faulty_cols = np.array(
+            [i for i, node in enumerate(self._nodes) if node in self._faulty],
+            dtype=int,
+        )
+        self._ff_cols = np.array(
+            [i for i, node in enumerate(self._nodes) if node not in self._faulty],
+            dtype=int,
+        )
+
     def _build_index_arrays(self) -> None:
         """Precompute the gather/scatter index arrays for one round.
 
@@ -209,17 +236,7 @@ class VectorizedEngine:
         ``repr`` (the scalar engine's deterministic tie-break).
         """
         graph = self._graph
-        self._nodes: tuple[NodeId, ...] = tuple(sorted(graph.nodes, key=repr))
-        self._column = {node: index for index, node in enumerate(self._nodes)}
-
-        self._faulty_cols = np.array(
-            [i for i, node in enumerate(self._nodes) if node in self._faulty],
-            dtype=int,
-        )
-        self._ff_cols = np.array(
-            [i for i, node in enumerate(self._nodes) if node not in self._faulty],
-            dtype=int,
-        )
+        self._build_node_columns()
 
         # Canonical channel order (receiver-major, senders by repr within a
         # receiver) shared with BatchAdversaryContext.edge_nodes.
@@ -311,7 +328,7 @@ class VectorizedEngine:
         (one per row), or an already-packed array (validated and copied).
         """
         if isinstance(inputs, np.ndarray):
-            matrix = np.array(inputs, dtype=float)
+            matrix = np.array(inputs, dtype=self._dtype)
             if matrix.ndim == 1:
                 matrix = matrix[None, :]
             if matrix.ndim != 2 or matrix.shape[1] != len(self._nodes):
@@ -332,7 +349,7 @@ class VectorizedEngine:
             rows.append([float(value_map[node]) for node in self._nodes])
         if not rows:
             raise InvalidParameterError("at least one input assignment is required")
-        return np.array(rows, dtype=float)
+        return np.array(rows, dtype=self._dtype)
 
     def _context(
         self, state: np.ndarray, round_index: int
@@ -361,7 +378,7 @@ class VectorizedEngine:
         adversary's nominal values, exactly like the scalar engine's
         :meth:`~repro.simulation.engine.SynchronousEngine.step`.
         """
-        state = np.asarray(state, dtype=float)
+        state = np.asarray(state, dtype=self._dtype)
         if state.ndim != 2 or state.shape[1] != len(self._nodes):
             raise InvalidParameterError(
                 f"state matrix must have shape (B, {len(self._nodes)}), "

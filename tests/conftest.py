@@ -1,10 +1,27 @@
-"""Shared pytest fixtures: small graphs and rule instances reused across tests."""
+"""Shared pytest fixtures and helpers.
+
+Besides the small graph/rule fixtures, this module centralises what used to
+be copy-pasted across ``test_engine_parity.py`` / ``test_adversary_batch.py``
+/ ``test_metamorphic.py``:
+
+* :data:`SYNC_FAMILY_CASES` — the labelled (graph family, fault set, rule,
+  adversary) scenario matrix the differential suites sweep;
+* :func:`make_scalar_adversary` — the shared scalar adversary factory;
+* the **engine axis**: :data:`SYNC_ENGINE_KINDS` /
+  :func:`run_sync_engine` run one synchronous execution through any of the
+  four engine tiers (scalar reference, dense vectorized, sparse CSR, or the
+  vectorized async engine degenerated to ``max_delay=0, p=1.0``), and
+  :func:`make_batch_engine` builds a batch engine for the dense/sparse/async
+  tiers with one shared configuration.
+"""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.algorithms import TrimmedMeanRule
+from repro.adversary import ExtremePushStrategy, StaticValueStrategy
+from repro.algorithms import TrimmedMeanRule, TrimmedMidpointRule
 from repro.graphs import (
     Digraph,
     chord_network,
@@ -12,6 +29,20 @@ from repro.graphs import (
     core_network,
     hypercube,
 )
+from repro.simulation import (
+    SimulationConfig,
+    SparseEngine,
+    VectorizedAsyncEngine,
+    VectorizedEngine,
+    run_sparse,
+    run_synchronous,
+    run_vectorized,
+    run_vectorized_async,
+)
+
+# ---------------------------------------------------------------------------
+# Graph fixtures
+# ---------------------------------------------------------------------------
 
 
 @pytest.fixture
@@ -66,3 +97,140 @@ def trimmed_f1() -> TrimmedMeanRule:
 def trimmed_f2() -> TrimmedMeanRule:
     """Algorithm 1 configured for f = 2."""
     return TrimmedMeanRule(2)
+
+
+# ---------------------------------------------------------------------------
+# Shared scenario matrix (deduplicated graph families)
+# ---------------------------------------------------------------------------
+
+#: Labelled synchronous scenarios: (label, graph factory, f, faulty,
+#: rule factory, adversary kind).  The differential suites parametrize over
+#: this one matrix instead of each maintaining its own copy.
+SYNC_FAMILY_CASES = [
+    ("complete4-mean", lambda: complete_graph(4), 1, {0}, TrimmedMeanRule, "extreme-push"),
+    ("complete4-mid", lambda: complete_graph(4), 1, {0}, TrimmedMidpointRule, "extreme-push"),
+    ("complete5-clean", lambda: complete_graph(5), 1, set(), TrimmedMeanRule, "none"),
+    ("complete7-static", lambda: complete_graph(7), 2, {0, 6}, TrimmedMeanRule, "static"),
+    ("complete7-mid", lambda: complete_graph(7), 2, {1, 2}, TrimmedMidpointRule, "extreme-push"),
+    ("core7", lambda: core_network(7, 2), 2, {5, 6}, TrimmedMeanRule, "extreme-push"),
+    ("core8", lambda: core_network(8, 1), 1, {7}, TrimmedMeanRule, "static"),
+    ("core10-mid", lambda: core_network(10, 2), 2, {8, 9}, TrimmedMidpointRule, "static"),
+    ("chord5", lambda: chord_network(5, 1), 1, {2}, TrimmedMeanRule, "extreme-push"),
+    ("chord9-clean", lambda: chord_network(9, 1), 1, set(), TrimmedMidpointRule, "none"),
+    # Large-degree case: trim windows wider than NumPy's pairwise-summation
+    # block (128), pinning the engines' sequential summation order.
+    ("core150-wide", lambda: core_network(150, 2), 2, {148, 149}, TrimmedMeanRule, "extreme-push"),
+]
+
+#: Case labels, for readable parametrized test ids.
+SYNC_FAMILY_IDS = [case[0] for case in SYNC_FAMILY_CASES]
+
+
+def make_scalar_adversary(kind: str):
+    """Return a fresh scalar adversary for ``kind`` (``none`` → ``None``)."""
+    if kind == "none":
+        return None
+    if kind == "extreme-push":
+        return ExtremePushStrategy(delta=2.0)
+    if kind == "static":
+        return StaticValueStrategy(7.5)
+    raise AssertionError(kind)
+
+
+# ---------------------------------------------------------------------------
+# Engine axis
+# ---------------------------------------------------------------------------
+
+#: The synchronous engine tiers every differential suite sweeps: the scalar
+#: reference, the dense vectorized engine, the sparse CSR engine, and the
+#: vectorized async engine degenerated to the synchronous point.
+SYNC_ENGINE_KINDS = ("scalar", "dense", "sparse", "async-degenerate")
+
+#: The batch-capable engine tiers (everything but the scalar reference).
+BATCH_ENGINE_KINDS = ("dense", "sparse", "async-degenerate")
+
+
+def run_sync_engine(
+    engine_kind: str,
+    graph,
+    rule,
+    inputs,
+    *,
+    faulty=frozenset(),
+    adversary=None,
+    **kwargs,
+):
+    """Run one synchronous execution through the requested engine tier.
+
+    ``kwargs`` are forwarded to the functional runner (``max_rounds``,
+    ``tolerance``, ``record_history``, …); the async-degenerate tier pins
+    ``max_delay=0, update_probability=1.0`` so its trajectory must equal the
+    synchronous ones.
+    """
+    if engine_kind == "scalar":
+        return run_synchronous(
+            graph, rule, inputs, faulty=faulty, adversary=adversary, **kwargs
+        )
+    if engine_kind == "dense":
+        return run_vectorized(
+            graph, rule, inputs, faulty=faulty, adversary=adversary, **kwargs
+        )
+    if engine_kind == "sparse":
+        return run_sparse(
+            graph, rule, inputs, faulty=faulty, adversary=adversary, **kwargs
+        )
+    if engine_kind == "async-degenerate":
+        return run_vectorized_async(
+            graph,
+            rule,
+            inputs,
+            faulty=faulty,
+            adversary=adversary,
+            max_delay=0,
+            update_probability=1.0,
+            **kwargs,
+        )
+    raise AssertionError(engine_kind)
+
+
+def make_batch_engine(
+    engine_kind: str,
+    graph,
+    rule,
+    *,
+    faulty=frozenset(),
+    adversary=None,
+    config: SimulationConfig | None = None,
+    dtype=np.float64,
+    max_plane_bytes: int | None = None,
+):
+    """Build a batch engine of the requested tier with one shared config.
+
+    The sparse tier honours ``dtype`` / ``max_plane_bytes``; the dense and
+    async-degenerate tiers ignore them (they are float64-only).
+    """
+    if engine_kind == "dense":
+        return VectorizedEngine(
+            graph, rule, faulty=faulty, adversary=adversary, config=config
+        )
+    if engine_kind == "sparse":
+        return SparseEngine(
+            graph,
+            rule,
+            faulty=faulty,
+            adversary=adversary,
+            config=config,
+            dtype=dtype,
+            max_plane_bytes=max_plane_bytes,
+        )
+    if engine_kind == "async-degenerate":
+        return VectorizedAsyncEngine(
+            graph,
+            rule,
+            faulty=faulty,
+            adversary=adversary,
+            config=config,
+            max_delay=0,
+            update_probability=1.0,
+        )
+    raise AssertionError(engine_kind)

@@ -1,28 +1,36 @@
 """Cross-engine parity suite: every engine agrees bit-for-bit.
 
-Three equivalence layers, each parametrized over graph families × rules ×
-adversary strategies:
+Four equivalence layers, each parametrized over the shared graph-family
+matrix in ``conftest.py`` (:data:`conftest.SYNC_FAMILY_CASES`):
 
-1. **Synchronous trio** — the scalar :class:`SynchronousEngine`, the
-   vectorized :class:`VectorizedEngine`, and the vectorized
-   :class:`VectorizedAsyncEngine` degenerated to ``max_delay=0,
+1. **Synchronous quartet** — the scalar :class:`SynchronousEngine`, the
+   dense :class:`VectorizedEngine`, the CSR :class:`SparseEngine`, and the
+   vectorized :class:`VectorizedAsyncEngine` degenerated to ``max_delay=0,
    update_probability=1.0`` produce identical trajectories (``==`` on
    floats, never ``approx``).
-2. **Asynchronous pair** — the scalar :class:`PartiallyAsynchronousEngine`
+2. **Batch differential** — dense and sparse ``run_batch`` agree on every
+   output array at ``B = 1`` and ``B = 64``.
+3. **Asynchronous pair** — the scalar :class:`PartiallyAsynchronousEngine`
    and :class:`VectorizedAsyncEngine` agree round-for-round under the shared
    RNG-stream contract (same seed → same delay draws and activation coins).
-3. **Batch rows** — every row of a vectorized batch reproduces the scalar
+4. **Batch rows** — every row of a vectorized batch reproduces the scalar
    run seeded with that row's spawned child stream.
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.adversary import (
-    ExtremePushStrategy,
-    StaticValueStrategy,
+from conftest import (
+    BATCH_ENGINE_KINDS,
+    SYNC_FAMILY_CASES,
+    SYNC_FAMILY_IDS,
+    make_batch_engine,
+    make_scalar_adversary,
+    run_sync_engine,
 )
+from repro.adversary import ExtremePushStrategy
 from repro.algorithms import TrimmedMeanRule, TrimmedMidpointRule
 from repro.graphs import chord_network, complete_graph, core_network
 from repro.simulation import (
@@ -31,8 +39,6 @@ from repro.simulation import (
     VectorizedAsyncEngine,
     async_cross_check_engines,
     linear_ramp_inputs,
-    run_synchronous,
-    run_vectorized,
     run_vectorized_async,
     spawn_row_generators,
     uniform_random_inputs,
@@ -40,38 +46,20 @@ from repro.simulation import (
 from repro.simulation.vectorized import random_input_matrix
 
 
-def _adversary(kind: str):
-    if kind == "none":
-        return None
-    if kind == "extreme-push":
-        return ExtremePushStrategy(delta=2.0)
-    if kind == "static":
-        return StaticValueStrategy(7.5)
-    raise AssertionError(kind)
-
-
-SYNC_CASES = [
-    # (graph factory, f, faulty, rule factory, adversary kind)
-    (lambda: complete_graph(4), 1, {0}, TrimmedMeanRule, "extreme-push"),
-    (lambda: complete_graph(4), 1, {0}, TrimmedMidpointRule, "extreme-push"),
-    (lambda: complete_graph(5), 1, set(), TrimmedMeanRule, "none"),
-    (lambda: complete_graph(7), 2, {0, 6}, TrimmedMeanRule, "static"),
-    (lambda: complete_graph(7), 2, {1, 2}, TrimmedMidpointRule, "extreme-push"),
-    (lambda: core_network(7, 2), 2, {5, 6}, TrimmedMeanRule, "extreme-push"),
-    (lambda: core_network(8, 1), 1, {7}, TrimmedMeanRule, "static"),
-    (lambda: core_network(10, 2), 2, {8, 9}, TrimmedMidpointRule, "static"),
-    (lambda: chord_network(5, 1), 1, {2}, TrimmedMeanRule, "extreme-push"),
-    (lambda: chord_network(9, 1), 1, set(), TrimmedMidpointRule, "none"),
-]
-
-
 @pytest.mark.parametrize(
-    "graph_factory,f,faulty,rule_factory,adversary_kind",
-    SYNC_CASES,
-    ids=[f"sync-{i}" for i in range(len(SYNC_CASES))],
+    "label,graph_factory,f,faulty,rule_factory,adversary_kind",
+    SYNC_FAMILY_CASES,
+    ids=SYNC_FAMILY_IDS,
 )
-def test_sync_trio_bit_exact(graph_factory, f, faulty, rule_factory, adversary_kind):
-    """Scalar sync == vectorized sync == vectorized async at the degenerate point."""
+def test_sync_quartet_bit_exact(
+    label, graph_factory, f, faulty, rule_factory, adversary_kind
+):
+    """Scalar == dense == sparse == async-degenerate, float-for-float.
+
+    Every engine gets a fresh adversary instance; with tolerance 0 identical
+    trajectories stop at identical rounds, so the histories must have equal
+    length as well as equal contents.
+    """
     graph = graph_factory()
     inputs = uniform_random_inputs(graph.nodes, rng=11)
     kwargs = dict(
@@ -80,39 +68,84 @@ def test_sync_trio_bit_exact(graph_factory, f, faulty, rule_factory, adversary_k
         tolerance=0.0,
         record_history=True,
     )
-    scalar = run_synchronous(
-        graph,
-        rule_factory(f),
-        inputs,
-        adversary=_adversary(adversary_kind),
-        **kwargs,
+    outcomes = {
+        engine_kind: run_sync_engine(
+            engine_kind,
+            graph,
+            rule_factory(f),
+            inputs,
+            adversary=make_scalar_adversary(adversary_kind),
+            **kwargs,
+        )
+        for engine_kind in ("scalar", "dense", "sparse", "async-degenerate")
+    }
+    scalar = outcomes.pop("scalar")
+    for engine_kind, outcome in outcomes.items():
+        assert len(scalar.history) == len(outcome.history), engine_kind
+        for s_rec, o_rec in zip(scalar.history, outcome.history):
+            for node in graph.nodes:
+                assert s_rec.values[node] == o_rec.values[node], (
+                    f"{engine_kind} diverged at round {o_rec.round_index} "
+                    f"on node {node!r}"
+                )
+
+
+@pytest.mark.parametrize("batch", [1, 64], ids=["B1", "B64"])
+@pytest.mark.parametrize(
+    "label,graph_factory,f,faulty,rule_factory,adversary_kind",
+    SYNC_FAMILY_CASES,
+    ids=SYNC_FAMILY_IDS,
+)
+def test_batch_dense_vs_sparse_bit_exact(
+    label, graph_factory, f, faulty, rule_factory, adversary_kind, batch
+):
+    """run_batch parity: dense and sparse agree on every output array."""
+    graph = graph_factory()
+    config = SimulationConfig(
+        max_rounds=12,
+        tolerance=0.0,
+        record_history=True,
+        stop_on_convergence=False,
     )
-    vector = run_vectorized(
-        graph,
-        rule_factory(f),
-        inputs,
-        adversary=_adversary(adversary_kind),
-        **kwargs,
+    outcomes = {}
+    for engine_kind in ("dense", "sparse"):
+        engine = make_batch_engine(
+            engine_kind,
+            graph,
+            rule_factory(f),
+            faulty=frozenset(faulty),
+            adversary=make_scalar_adversary(adversary_kind),
+            config=config,
+        )
+        matrix = random_input_matrix(engine.nodes, batch, rng=17)
+        outcomes[engine_kind] = engine.run_batch(matrix)
+    dense, sparse = outcomes["dense"], outcomes["sparse"]
+    assert dense.nodes == sparse.nodes
+    assert np.array_equal(dense.final_states, sparse.final_states)
+    assert np.array_equal(dense.converged, sparse.converged)
+    assert np.array_equal(dense.rounds_executed, sparse.rounds_executed)
+    assert np.array_equal(dense.initial_spread, sparse.initial_spread)
+    assert np.array_equal(dense.final_spread, sparse.final_spread)
+    assert np.array_equal(dense.validity_ok, sparse.validity_ok)
+    assert np.array_equal(dense.spread_history, sparse.spread_history)
+
+
+@pytest.mark.parametrize("engine_kind", BATCH_ENGINE_KINDS)
+def test_batch_engines_share_canonical_channel_order(engine_kind):
+    """Every batch tier exposes the identical canonical channel order.
+
+    The RNG-stream contract and the batch strategy library both key off
+    ``BatchAdversaryContext.edge_nodes``; the tiers must agree on it exactly.
+    """
+    graph = core_network(10, 2)
+    reference = make_batch_engine(
+        "dense", graph, TrimmedMeanRule(2), faulty=frozenset({8, 9})
     )
-    # All three share the default stop-on-convergence rule; with tolerance 0
-    # identical trajectories stop at identical rounds, so the histories must
-    # have equal length as well as equal contents.
-    degenerate = run_vectorized_async(
-        graph,
-        rule_factory(f),
-        inputs,
-        adversary=_adversary(adversary_kind),
-        max_delay=0,
-        update_probability=1.0,
-        **kwargs,
+    candidate = make_batch_engine(
+        engine_kind, graph, TrimmedMeanRule(2), faulty=frozenset({8, 9})
     )
-    assert len(scalar.history) == len(vector.history) == len(degenerate.history)
-    for s_rec, v_rec, a_rec in zip(
-        scalar.history, vector.history, degenerate.history
-    ):
-        for node in graph.nodes:
-            assert s_rec.values[node] == v_rec.values[node]
-            assert s_rec.values[node] == a_rec.values[node]
+    assert candidate.nodes == reference.nodes
+    assert candidate._edge_nodes == reference._edge_nodes
 
 
 ASYNC_CASES = [
@@ -147,7 +180,7 @@ def test_async_pair_bit_exact(
         rule_factory(f),
         uniform_random_inputs(graph.nodes, rng=seed),
         faulty=frozenset(faulty),
-        adversary=_adversary(adversary_kind),
+        adversary=make_scalar_adversary(adversary_kind),
         config=SimulationConfig(max_rounds=40, tolerance=1e-9),
         max_delay=delay,
         update_probability=probability,

@@ -1,0 +1,272 @@
+"""Unit tests for the CSR sparse engine tier.
+
+Covers what the differential suites don't: the CSR layout itself, parameter
+validation, the ``plane_tile_rows`` budget arithmetic, the memory-tiling
+regression (tiled == untiled bit-for-bit, and the tiled kernel actually
+allocates less), the ``run_consensus(engine="sparse")`` routing, and the
+float32 dtype plumbing.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    BatchExtremePushStrategy,
+    BatchRandomNoiseStrategy,
+    ExtremePushStrategy,
+)
+from repro.algorithms import TrimmedMeanRule, TrimmedMidpointRule
+from repro.exceptions import InvalidParameterError
+from repro.graphs import complete_graph, core_network, k_in_regular_digraph
+from repro.simulation import (
+    SimulationConfig,
+    SparseEngine,
+    VectorizedEngine,
+    run_consensus,
+    run_sparse,
+    sparse_cross_check_engines,
+    uniform_random_inputs,
+)
+from repro.simulation.vectorized import random_input_matrix
+
+
+class TestCSRLayout:
+    def test_csr_matches_graph_in_neighbours(self):
+        graph = core_network(12, 2)
+        engine = SparseEngine(graph, TrimmedMeanRule(2), faulty={10, 11})
+        indptr, indices = engine.csr_indptr, engine.csr_indices
+        ff_nodes = [n for n in engine.nodes if n not in engine.faulty]
+        assert indptr.shape == (len(ff_nodes) + 1,)
+        assert engine.nnz == indptr[-1] == indices.size
+        column_of = {node: i for i, node in enumerate(engine.nodes)}
+        for ff_index, receiver in enumerate(ff_nodes):
+            segment = indices[indptr[ff_index] : indptr[ff_index + 1]]
+            senders = sorted(graph.in_neighbors(receiver), key=repr)
+            assert list(segment) == [column_of[s] for s in senders]
+
+    def test_channel_order_identical_to_dense(self):
+        graph = core_network(10, 2)
+        kwargs = dict(faulty=frozenset({8, 9}))
+        sparse = SparseEngine(graph, TrimmedMeanRule(2), **kwargs)
+        dense = VectorizedEngine(graph, TrimmedMeanRule(2), **kwargs)
+        assert sparse.nodes == dense.nodes
+        assert sparse._edge_nodes == dense._edge_nodes
+        assert np.array_equal(sparse._edge_src_cols, dense._edge_src_cols)
+        assert np.array_equal(sparse._edge_dst_cols, dense._edge_dst_cols)
+
+    def test_plane_covers_every_message_slot_once(self):
+        graph = k_in_regular_digraph(30, 5, rng=0)
+        engine = SparseEngine(graph, TrimmedMeanRule(2), faulty={0, 1})
+        assert engine._plane_indices.size == engine.nnz
+        # Bucket slabs partition [0, nnz) without gaps or overlap.
+        spans = sorted(
+            (b.plane_start, b.plane_stop) for b in engine._buckets
+        )
+        cursor = 0
+        for start, stop in spans:
+            assert start == cursor
+            cursor = stop
+        assert cursor == engine.nnz
+
+
+class TestValidation:
+    def test_rejects_unsupported_dtype(self):
+        graph = complete_graph(5)
+        with pytest.raises(InvalidParameterError):
+            SparseEngine(graph, TrimmedMeanRule(1), dtype=np.int32)
+        with pytest.raises(InvalidParameterError):
+            SparseEngine(graph, TrimmedMeanRule(1), dtype=np.float16)
+
+    def test_rejects_nonpositive_budget(self):
+        graph = complete_graph(5)
+        with pytest.raises(InvalidParameterError):
+            SparseEngine(graph, TrimmedMeanRule(1), max_plane_bytes=0)
+        with pytest.raises(InvalidParameterError):
+            SparseEngine(graph, TrimmedMeanRule(1), max_plane_bytes=-8)
+
+    def test_plane_tile_rows_rejects_bad_batch(self):
+        engine = SparseEngine(complete_graph(5), TrimmedMeanRule(1))
+        with pytest.raises(InvalidParameterError):
+            engine.plane_tile_rows(0)
+
+
+class TestTileArithmetic:
+    def test_no_budget_means_one_tile(self):
+        engine = SparseEngine(complete_graph(6), TrimmedMeanRule(1))
+        assert engine.max_plane_bytes is None
+        assert engine.plane_tile_rows(17) == 17
+
+    def test_budget_floors_at_one_row(self):
+        engine = SparseEngine(
+            complete_graph(6), TrimmedMeanRule(1), max_plane_bytes=1
+        )
+        assert engine.plane_tile_rows(8) == 1
+
+    def test_budget_rounds_down_to_whole_rows(self):
+        engine = SparseEngine(complete_graph(6), TrimmedMeanRule(1))
+        per_row = engine.plane_bytes_per_row
+        budgeted = SparseEngine(
+            complete_graph(6),
+            TrimmedMeanRule(1),
+            max_plane_bytes=3 * per_row + per_row // 2,
+        )
+        assert budgeted.plane_tile_rows(8) == 3
+        assert budgeted.plane_tile_rows(2) == 2
+
+    def test_float32_halves_the_per_row_footprint(self):
+        f64 = SparseEngine(core_network(10, 2), TrimmedMeanRule(2))
+        f32 = SparseEngine(
+            core_network(10, 2), TrimmedMeanRule(2), dtype=np.float32
+        )
+        assert f32.plane_bytes_per_row * 2 == f64.plane_bytes_per_row
+
+
+class TestTilingRegression:
+    @pytest.mark.parametrize("adversary_factory", [
+        lambda: None,
+        lambda: ExtremePushStrategy(2.0),
+        lambda: BatchExtremePushStrategy(2.0),
+        lambda: BatchRandomNoiseStrategy(-3.0, 3.0, rng=5),
+    ])
+    def test_tiled_equals_untiled_bit_for_bit(self, adversary_factory):
+        """A tiny tile budget never changes a single bit of the outputs.
+
+        Includes the RNG-backed noise strategy: the adversary runs once per
+        round on the full batch, so its draw sequence is identical whether
+        the kernel then processes 1 row or all of them per tile.
+        """
+        graph = core_network(14, 2)
+        faulty = frozenset({12, 13})
+        config = SimulationConfig(
+            max_rounds=10, tolerance=0.0, stop_on_convergence=False
+        )
+        outcomes = {}
+        for budget in (None, 1):  # 1 byte -> one row per tile
+            engine = SparseEngine(
+                graph,
+                TrimmedMeanRule(2),
+                faulty=faulty,
+                adversary=adversary_factory(),
+                config=config,
+                max_plane_bytes=budget,
+            )
+            matrix = random_input_matrix(engine.nodes, 16, rng=7)
+            outcomes[budget] = engine.run_batch(matrix)
+        assert np.array_equal(
+            outcomes[None].final_states, outcomes[1].final_states
+        )
+        assert np.array_equal(
+            outcomes[None].final_spread, outcomes[1].final_spread
+        )
+        assert np.array_equal(
+            outcomes[None].validity_ok, outcomes[1].validity_ok
+        )
+
+    def test_tiling_caps_peak_kernel_allocations(self):
+        """The tiled kernel's peak traced allocation is a fraction of the
+        untiled one on a plane that is large relative to the budget."""
+        graph = k_in_regular_digraph(1500, 8, rng=3)
+        rule = TrimmedMeanRule(2)
+        batch = 48
+
+        def peak_bytes(budget):
+            engine = SparseEngine(graph, rule, max_plane_bytes=budget)
+            state = engine.pack_inputs(
+                random_input_matrix(engine.nodes, batch, rng=1)
+            )
+            tracemalloc.start()
+            stepped = engine.step_matrix(state, 1)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak, stepped
+
+        untiled_peak, untiled_state = peak_bytes(None)
+        budget = SparseEngine(graph, rule).plane_bytes_per_row * 4
+        tiled_peak, tiled_state = peak_bytes(budget)
+        assert np.array_equal(untiled_state, tiled_state)
+        assert tiled_peak < untiled_peak * 0.5, (
+            f"tiled peak {tiled_peak} not below half of untiled "
+            f"{untiled_peak}"
+        )
+
+
+class TestRouting:
+    def test_run_consensus_sparse_matches_vectorized(self):
+        graph = core_network(9, 1)
+        outcomes = {
+            engine: run_consensus(graph, f=1, seed=4, engine=engine)
+            for engine in ("vectorized", "sparse")
+        }
+        assert (
+            outcomes["sparse"].final_values
+            == outcomes["vectorized"].final_values
+        )
+        assert (
+            outcomes["sparse"].rounds_executed
+            == outcomes["vectorized"].rounds_executed
+        )
+
+    def test_run_consensus_sparse_rejects_async(self):
+        graph = core_network(9, 1)
+        with pytest.raises(InvalidParameterError, match="synchronous model"):
+            run_consensus(graph, f=1, engine="sparse", synchronous=False)
+
+    def test_run_sparse_cross_check_passes(self):
+        graph = core_network(9, 1)
+        outcome = run_sparse(
+            graph,
+            TrimmedMeanRule(1),
+            uniform_random_inputs(graph.nodes, rng=2),
+            faulty={8},
+            adversary=ExtremePushStrategy(1.0),
+            max_rounds=30,
+            cross_check=True,
+        )
+        assert outcome.validity_ok
+
+    def test_sparse_cross_check_engines_identical(self):
+        graph = core_network(11, 2)
+        report = sparse_cross_check_engines(
+            graph,
+            TrimmedMidpointRule(2),
+            uniform_random_inputs(graph.nodes, rng=6),
+            faulty={9, 10},
+            adversary=BatchExtremePushStrategy(1.5),
+            config=SimulationConfig(max_rounds=15),
+        )
+        assert report.identical
+        assert report.max_abs_difference == 0.0
+
+
+class TestFloat32Plumbing:
+    def test_pack_and_step_stay_float32(self):
+        engine = SparseEngine(
+            core_network(9, 1),
+            TrimmedMeanRule(1),
+            faulty={8},
+            adversary=ExtremePushStrategy(1.0),
+            dtype=np.float32,
+        )
+        state = engine.pack_inputs(uniform_random_inputs(engine.graph.nodes, rng=1))
+        assert state.dtype == np.float32
+        stepped = engine.step_matrix(state, 1)
+        assert stepped.dtype == np.float32
+
+    def test_run_sparse_float32_converges(self):
+        graph = core_network(9, 1)
+        outcome = run_sparse(
+            graph,
+            TrimmedMeanRule(1),
+            uniform_random_inputs(graph.nodes, rng=3),
+            faulty={8},
+            adversary=ExtremePushStrategy(1.0),
+            max_rounds=200,
+            tolerance=1e-4,
+            dtype=np.float32,
+        )
+        assert outcome.converged
+        assert outcome.validity_ok

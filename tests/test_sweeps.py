@@ -19,8 +19,9 @@ from repro.sweeps.registry import all_experiments, get_experiment
 from repro.sweeps.store import RunStore, numeric_columns
 
 #: The registered experiments every release must provide: the nine paper
-#: experiments plus the ``checker_scaling`` sweep over the bitset checker
-#: and the ``adversary_showdown`` sweep over the batch-native strategies.
+#: experiments plus the ``checker_scaling`` sweep over the bitset checker,
+#: the ``adversary_showdown`` sweep over the batch-native strategies, and
+#: the ``large_n`` sparse-engine scale sweep.
 EXPECTED_EXPERIMENTS = {
     "ablation",
     "adversary_showdown",
@@ -30,6 +31,7 @@ EXPECTED_EXPERIMENTS = {
     "convergence_rate",
     "corollaries",
     "families",
+    "large_n",
     "necessity",
     "robustness",
     "validity",
