@@ -15,6 +15,10 @@
 #                    -> BENCH_scale.json
 #   make bench-scale-smoke tiny-n scale run: scalar/dense/sparse equivalence
 #                    guards only (no file written; CI runs this on every push)
+#   make bench-verdict layered feasibility-verdict benchmark with parity and
+#                    certificate guards -> BENCH_verdict.json
+#   make bench-verdict-smoke parity + certificate guards and one tiny timed
+#                    battery (no file written; CI runs this on every push)
 #   make docs-check  docs exist, examples in them import, docstrings covered
 #   make sweep-smoke end-to-end CLI sweep: run a tiny sharded grid with two
 #                    workers, then re-open it with `repro report`
@@ -29,10 +33,11 @@ DOCSTRING_GATE = $(PYTHON) tools/check_docstrings.py \
 	--root src/repro --root benchmarks \
 	--require repro.cli --require repro.sweeps.registry \
 	--require repro.sweeps.orchestrator --require repro.sweeps.store \
-	--require repro.conditions.bitset --require repro.adversary.vectorized \
+	--require repro.conditions.bitset --require repro.conditions.verdict \
+	--require repro.adversary.vectorized \
 	--require repro.simulation.sparse
 
-.PHONY: test test-fast bench bench-async bench-checker bench-checker-smoke bench-adversary bench-adversary-smoke bench-scale bench-scale-smoke docs-check sweep-smoke
+.PHONY: test test-fast bench bench-async bench-checker bench-checker-smoke bench-adversary bench-adversary-smoke bench-scale bench-scale-smoke bench-verdict bench-verdict-smoke docs-check sweep-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -66,6 +71,13 @@ bench-scale:
 bench-scale-smoke:
 	$(PYTHON) benchmarks/bench_scale.py --smoke
 	@git diff --quiet -- BENCH_scale.json || { echo "bench-scale-smoke must not modify BENCH_scale.json"; exit 1; }
+
+bench-verdict:
+	$(PYTHON) benchmarks/bench_verdict.py
+
+bench-verdict-smoke:
+	$(PYTHON) benchmarks/bench_verdict.py --smoke
+	@git diff --quiet -- BENCH_verdict.json || { echo "bench-verdict-smoke must not modify BENCH_verdict.json"; exit 1; }
 
 docs-check:
 	@test -f README.md || { echo "README.md missing"; exit 1; }

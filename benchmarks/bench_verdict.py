@@ -1,0 +1,254 @@
+"""Verdict-stack benchmark: layered feasibility decisions with certificates.
+
+Times :func:`repro.conditions.verdict.feasibility_verdict` across the
+100–1000-node families of the ``feasibility_at_scale`` battery, recording
+the per-layer wall-clock split and which layer decided each case.  Before
+any number is reported the harness runs two refusal guards:
+
+* **Parity guard** — on every small-``n`` case (within the exhaustive cap)
+  the verdict must agree with the exact bitset checker
+  (:func:`find_violating_partition`), and the DPLL constraint backend must
+  agree with both; any witness produced must re-verify.
+* **Certificate guard** — every decided verdict in the timed battery must
+  carry a certificate that
+  :func:`repro.conditions.verdict.verify_certificate` re-checks from
+  scratch; a failed certificate aborts the benchmark.
+
+The headline number is ``speedups.core_screens_vs_exhaustive``: the
+core-structure screen versus the full bitset enumeration on the same
+``core_network(20, 2)`` instance.  Results land in ``BENCH_verdict.json``
+using the unified schema v2 (via
+:func:`repro.sweeps.provenance.bench_payload`, documented in
+``docs/performance.md``); run via ``make bench-verdict`` or::
+
+    PYTHONPATH=src python benchmarks/bench_verdict.py [--smoke]
+
+``--smoke`` runs both guards plus a single timed case and skips the JSON
+write — the CI matrix runs it (``make bench-verdict-smoke``) so the stack
+and its guards stay exercised on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.conditions.exact import exact_violation_search
+from repro.conditions.necessary import (
+    check_feasibility,
+    find_violating_partition,
+    verify_witness,
+)
+from repro.conditions.verdict import (
+    UNKNOWN,
+    feasibility_verdict,
+    verify_certificate,
+)
+from repro.experiments.feasibility_scale import feasibility_scale_battery
+from repro.graphs.generators import (
+    chord_network,
+    complete_graph,
+    core_network,
+    hypercube,
+    undirected_ring,
+)
+from repro.graphs.random_graphs import erdos_renyi_digraph
+from repro.sweeps.provenance import bench_payload
+
+
+def parity_cases() -> list[tuple[str, object, int]]:
+    """Small-``n`` cases (within the exhaustive cap) for the parity guard."""
+    cases = [
+        ("hypercube d=3 f=1", hypercube(3), 1),
+        ("ring n=6 f=1", undirected_ring(6), 1),
+        ("chord n=7 f=2", chord_network(7, 2), 2),
+        ("chord n=11 f=2", chord_network(11, 2), 2),
+        ("complete n=7 f=2", complete_graph(7), 2),
+        ("core n=10 f=3", core_network(10, 3), 3),
+    ]
+    for seed in range(6):
+        graph = erdos_renyi_digraph(9, 0.35, rng=seed)
+        cases.append((f"erdos-renyi n=9 #{seed}", graph, 1))
+    return cases
+
+
+def run_parity_guard() -> int:
+    """Assert verdict-stack and DPLL parity with the exact checker.
+
+    Returns the number of cases checked; raises ``SystemExit`` on any
+    divergence or invalid witness, refusing to benchmark a broken stack.
+    """
+    checked = 0
+    for label, graph, f in parity_cases():
+        exact_witness = find_violating_partition(graph, f)
+        exact_infeasible = exact_witness is not None
+        verdict = feasibility_verdict(graph, f)
+        if verdict.status == UNKNOWN or (
+            (verdict.status == "INFEASIBLE") != exact_infeasible
+        ):
+            raise SystemExit(
+                f"verdict stack diverged from the exact checker on {label}: "
+                f"{verdict.status} vs infeasible={exact_infeasible}; "
+                "refusing to benchmark"
+            )
+        if not verify_certificate(graph, f, verdict):
+            raise SystemExit(
+                f"verdict certificate failed re-verification on {label}; "
+                "refusing to benchmark"
+            )
+        dpll = exact_violation_search(graph, f, backend="dpll")
+        if (dpll.status == "violation") != exact_infeasible:
+            raise SystemExit(
+                f"DPLL backend diverged from the exact checker on {label}; "
+                "refusing to benchmark"
+            )
+        for witness in (exact_witness, dpll.witness):
+            if witness is not None and not verify_witness(graph, f, witness):
+                raise SystemExit(
+                    f"witness failed re-verification on {label}; "
+                    "refusing to benchmark"
+                )
+        checked += 1
+    return checked
+
+
+def time_verdict_battery(
+    battery: list[tuple[str, object, int]],
+    witness_attempts: int = 60,
+) -> dict[str, dict[str, object]]:
+    """Time the verdict stack per battery case, enforcing the certificate guard."""
+    results: dict[str, dict[str, object]] = {}
+    for label, graph, f in battery:
+        start = time.perf_counter()
+        verdict = feasibility_verdict(
+            graph, f, witness_attempts=witness_attempts, rng=23
+        )
+        elapsed = time.perf_counter() - start
+        if not verify_certificate(graph, f, verdict):
+            raise SystemExit(
+                f"certificate failed re-verification on {label}; "
+                "refusing to benchmark"
+            )
+        layer_seconds = {
+            timing.layer: timing.seconds for timing in verdict.timings
+        }
+        results[f"verdict_{label}"] = {
+            "n": graph.number_of_nodes,
+            "f": f,
+            "status": verdict.status,
+            "decided_by": verdict.decided_by,
+            "certificate": getattr(verdict.certificate, "kind", None),
+            "certificate_verified": True,
+            "total_seconds": elapsed,
+            "layer_seconds": layer_seconds,
+        }
+    return results
+
+
+def run_benchmark(witness_attempts: int = 60) -> dict:
+    """Run guards, the timed battery, and the headline comparison."""
+    parity_count = run_parity_guard()
+    battery = feasibility_scale_battery()
+    results = time_verdict_battery(battery, witness_attempts=witness_attempts)
+    decided = sum(
+        1 for entry in results.values() if entry["status"] != UNKNOWN
+    )
+    results["parity_guard"] = {
+        "cases": parity_count,
+        "all_agree": True,
+    }
+    results["coverage"] = {
+        "battery_cases": len(battery),
+        "decided": decided,
+        "decided_fraction": decided / len(battery),
+    }
+
+    # Headline: the core-structure screen versus the full enumeration on the
+    # same instance (both produce a FEASIBLE answer; the screen's is
+    # certificate-backed and ~constant-time).
+    headline_graph = core_network(20, 2)
+    start = time.perf_counter()
+    exhaustive = check_feasibility(
+        headline_graph, 2, use_structural_shortcuts=False
+    )
+    exhaustive_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    verdict = feasibility_verdict(headline_graph, 2)
+    verdict_seconds = time.perf_counter() - start
+    if not exhaustive.satisfied or verdict.status != "FEASIBLE":
+        raise SystemExit(
+            "headline case disagreement on core_network(20, 2); "
+            "refusing to benchmark"
+        )
+    speedup = exhaustive_seconds / max(verdict_seconds, 1e-9)
+    results["headline_core20"] = {
+        "exhaustive_seconds": exhaustive_seconds,
+        "verdict_seconds": verdict_seconds,
+        "decided_by": verdict.decided_by,
+        "speedup": speedup,
+    }
+    return bench_payload(
+        benchmark="verdict-stack",
+        scenario={
+            "battery": [label for label, _, _ in battery],
+            "witness_attempts": witness_attempts,
+            "parity_cases": parity_count,
+            "headline": "core_network(n=20, f=2) screens vs exhaustive",
+        },
+        results=results,
+        speedups={
+            "core_screens_vs_exhaustive": speedup,
+            "decided_fraction": decided / len(battery),
+        },
+    )
+
+
+def main() -> None:
+    """CLI entry point: run the benchmark and write ``BENCH_verdict.json``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--witness-attempts",
+        type=int,
+        default=60,
+        help="randomized witness-search attempts per case (default 60)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="guards + one tiny timed case; prints results, writes no file",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_verdict.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        checked = run_parity_guard()
+        smoke_battery = [
+            case for case in feasibility_scale_battery() if "n=100 " in case[0]
+        ]
+        results = time_verdict_battery(smoke_battery, witness_attempts=20)
+        print(json.dumps(results, indent=2))
+        print(
+            f"\nverdict smoke OK: {checked} parity cases agree, "
+            f"{len(results)} timed cases certificate-verified"
+        )
+        return
+    result = run_benchmark(witness_attempts=args.witness_attempts)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(
+        f"\nverdict stack decided "
+        f"{result['results']['coverage']['decided']}/"
+        f"{result['results']['coverage']['battery_cases']} battery cases; "
+        f"screens are {result['speedups']['core_screens_vs_exhaustive']:.0f}x "
+        f"the exhaustive checker on core_network(20, 2)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 """``repro`` — the one-command reproduction CLI.
 
-Three subcommands over the experiment registry (:mod:`repro.sweeps`):
+Four subcommands over the experiment registry (:mod:`repro.sweeps`) and the
+feasibility machinery (:mod:`repro.conditions`):
 
 * ``repro list`` — every registered experiment with its paper section,
   engine, default grid size and one-line description;
@@ -8,7 +9,10 @@ Three subcommands over the experiment registry (:mod:`repro.sweeps`):
   across ``--workers N`` processes), persisting a resumable run under the
   results store and printing the aggregate table;
 * ``repro report <run>`` — re-open a stored run (by run id or path) and
-  print its manifest summary and rows.
+  print its manifest summary and rows;
+* ``repro verdict <family>`` — run the layered feasibility verdict stack on
+  one generated graph and print the verdict, its certificate and per-layer
+  timings.
 
 Invoke as ``python -m repro ...`` from the source tree (with
 ``PYTHONPATH=src``) or as the ``repro`` console script after ``pip install
@@ -31,6 +35,33 @@ from repro.sweeps.store import RunStore
 
 #: Rows printed by ``repro run`` / ``repro report`` before truncation.
 DEFAULT_ROW_LIMIT = 40
+
+#: Graph families accepted by ``repro verdict``, mapped to builders taking
+#: the parsed CLI namespace.  ``--n`` is the node count except for
+#: ``hypercube``, where it is the dimension.
+VERDICT_FAMILIES = {
+    "complete": lambda args: _graphs().complete_graph(args.n),
+    "ring": lambda args: _graphs().undirected_ring(args.n),
+    "hypercube": lambda args: _graphs().hypercube(args.n),
+    "chord": lambda args: _graphs().chord_network(args.n, args.f),
+    "core": lambda args: _graphs().core_network(args.n, args.f),
+    "erdos-renyi": lambda args: _graphs().erdos_renyi_digraph(
+        args.n, args.p, rng=args.seed
+    ),
+    "heterogeneous-ring-lattice": lambda args: _graphs().heterogeneous_ring_lattice(
+        args.n, args.f, args.extra_mean, rng=args.seed
+    ),
+    "core-like": lambda args: _graphs().random_core_like_network(
+        args.n, args.f, rng=args.seed
+    ),
+}
+
+
+def _graphs():
+    """Import :mod:`repro.graphs` lazily so ``repro list`` stays snappy."""
+    import repro.graphs as graphs_module
+
+    return graphs_module
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +128,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--quiet", action="store_true", help="suppress progress and row output"
+    )
+
+    verdict_parser = subparsers.add_parser(
+        "verdict",
+        help="run the layered feasibility verdict stack on one graph",
+    )
+    verdict_parser.add_argument(
+        "family",
+        choices=sorted(VERDICT_FAMILIES),
+        help="graph family to generate",
+    )
+    verdict_parser.add_argument(
+        "--n",
+        type=int,
+        required=True,
+        help="node count (hypercube: the dimension)",
+    )
+    verdict_parser.add_argument(
+        "--f", type=int, required=True, help="fault budget f"
+    )
+    verdict_parser.add_argument(
+        "--p",
+        type=float,
+        default=0.1,
+        help="edge probability for erdos-renyi (default 0.1)",
+    )
+    verdict_parser.add_argument(
+        "--extra-mean",
+        type=float,
+        default=1.0,
+        help="mean extra out-degree for heterogeneous-ring-lattice (default 1.0)",
+    )
+    verdict_parser.add_argument(
+        "--seed", type=int, default=0, help="generator / search seed (default 0)"
+    )
+    verdict_parser.add_argument(
+        "--attempts",
+        type=int,
+        default=None,
+        help="randomized witness-search attempts (default: stack default)",
+    )
+    verdict_parser.add_argument(
+        "--backend",
+        default="dpll",
+        help="exact backend: auto, dpll, pysat or pulp (default dpll)",
+    )
+    verdict_parser.add_argument(
+        "--no-exact",
+        action="store_true",
+        help="skip the exact constraint-backend layer",
     )
 
     report_parser = subparsers.add_parser(
@@ -179,6 +260,52 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verdict(args: argparse.Namespace) -> int:
+    """Implement ``repro verdict``."""
+    from repro.conditions import (
+        DEFAULT_WITNESS_ATTEMPTS,
+        InfeasibilityCertificate,
+        feasibility_verdict,
+        verify_certificate,
+    )
+
+    graph = VERDICT_FAMILIES[args.family](args)
+    attempts = (
+        DEFAULT_WITNESS_ATTEMPTS if args.attempts is None else args.attempts
+    )
+    verdict = feasibility_verdict(
+        graph,
+        args.f,
+        witness_attempts=attempts,
+        rng=args.seed,
+        use_exact=not args.no_exact,
+        exact_backend=args.backend,
+    )
+    print(
+        f"graph:       {args.family} "
+        f"(n = {graph.number_of_nodes}, edges = {graph.number_of_edges})"
+    )
+    print(f"verdict:     {verdict.describe()}")
+    certificate = verdict.certificate
+    if certificate is None:
+        print("certificate: (none — undecided)")
+    else:
+        print(f"certificate: {certificate.kind}")
+        if isinstance(certificate, InfeasibilityCertificate):
+            if certificate.witness is not None:
+                print(f"witness:     {certificate.witness.describe()}")
+        elif certificate.core is not None:
+            print(f"core:        {sorted(certificate.core, key=repr)}")
+        verified = verify_certificate(graph, args.f, verdict)
+        print(f"re-verified: {'yes' if verified else 'NO — certificate is invalid'}")
+    print("layers:")
+    for timing in verdict.timings:
+        print(
+            f"  {timing.layer:<15} {timing.seconds * 1000:9.2f} ms  {timing.outcome}"
+        )
+    return 0
+
+
 def _resolve_run_dir(run: str, results_root: Path) -> Path:
     """Resolve a run argument: a directory path, or a run id under the root."""
     as_path = Path(run)
@@ -231,7 +358,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"list": cmd_list, "run": cmd_run, "report": cmd_report}
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "report": cmd_report,
+        "verdict": cmd_verdict,
+    }
     try:
         return handlers[args.command](args)
     except ReproError as error:

@@ -435,8 +435,30 @@ def check_feasibility(
     The returned :class:`~repro.types.FeasibilityResult` records which method
     decided and, for negative verdicts from the exhaustive search, the
     violating partition.  ``method`` routes the exhaustive step to the
-    bitset fast path (default) or the legacy pure-Python enumeration.
+    bitset fast path (default) or the legacy pure-Python enumeration;
+    ``method="auto"`` instead delegates to the layered verdict stack of
+    :mod:`repro.conditions.verdict`, which scales past ``max_nodes`` by
+    adding witness-search and constraint-backend layers — it raises
+    :class:`~repro.exceptions.GraphTooLargeError` if the stack returns
+    ``UNKNOWN`` (no layer could decide within its budget).
     """
+    if method == "auto":
+        # Imported lazily: repro.conditions.verdict imports this module.
+        from repro.conditions.verdict import UNKNOWN, feasibility_verdict
+
+        verdict = feasibility_verdict(graph, f, max_exhaustive_nodes=max_nodes)
+        if verdict.status == UNKNOWN:
+            raise GraphTooLargeError(
+                graph.number_of_nodes, max_nodes, checker="check_feasibility"
+            )
+        witness = getattr(verdict.certificate, "witness", None)
+        return FeasibilityResult(
+            satisfied=verdict.status == "FEASIBLE",
+            f=f,
+            witness=witness,
+            method=f"verdict:{verdict.decided_by}",
+            reason=verdict.reason,
+        )
     n = graph.number_of_nodes
     if not passes_count_screen(n, f):
         return FeasibilityResult(

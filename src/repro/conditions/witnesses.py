@@ -57,6 +57,46 @@ def _closure(
     )
 
 
+def verify_witness_fast(
+    graph: Digraph,
+    f: int,
+    witness: PartitionWitness,
+    threshold: int | None = None,
+    view: BitsetDigraphView | None = None,
+) -> bool:
+    """Return whether ``witness`` is a genuine violating partition, using the
+    packed mask closure when a bitset view is available.
+
+    Equivalent to :func:`repro.conditions.necessary.verify_witness` (the
+    partition structure is checked, then insulation of ``L`` and ``R``), but
+    the insulation checks run as ``closure(X) == X`` fixed-point tests on the
+    ``uint64`` masks — a set is insulated exactly when the deletion closure
+    leaves it untouched.  Pass a pre-built ``view`` to amortise packing
+    across many verifications; graphs beyond ``MAX_BITSET_NODES`` fall back
+    to the pure-Python check.
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if view is None:
+        view = _bitset_view(graph)
+    if view is None:
+        return verify_witness(graph, f, witness, threshold=threshold)
+    if len(witness.faulty) > f:
+        return False
+    if witness.all_nodes != graph.nodes:
+        return False
+    effective_threshold = f + 1 if threshold is None else threshold
+    universe_mask = view.full_mask & ~view.mask_of(witness.faulty)
+    for side in (witness.left, witness.right):
+        side_mask = view.mask_of(side)
+        closed = maximal_insulated_subset_mask(
+            view, side_mask, universe_mask, effective_threshold
+        )
+        if closed != side_mask:
+            return False
+    return True
+
+
 # ---------------------------------------------------------------------------
 # Canonical paper witnesses
 # ---------------------------------------------------------------------------
@@ -133,33 +173,54 @@ def greedy_witness_search(
     graph: Digraph,
     f: int,
     threshold: int | None = None,
+    max_seeds: int | None = None,
 ) -> PartitionWitness | None:
     """Deterministic greedy search for a violating partition.
 
-    For every node ``v`` (as a seed) and every fault set consisting of up to
-    ``f`` highest-in-degree neighbours of ``v``, the search grows ``L`` from
-    ``{v}`` by repeatedly absorbing the in-neighbours that prevent ``L`` from
-    being insulated, then tries to complete the candidate into a witness.
+    For every node ``v`` (as a seed) and every fault set consisting of the
+    ``k`` highest-in-degree in-neighbours of ``v`` for each ``k = 0 … f``,
+    the search grows ``L`` from ``{v}`` by repeatedly absorbing the
+    in-neighbours that prevent ``L`` from being insulated, then tries to
+    complete the candidate into a witness.  Every prefix size is tried —
+    not just ``k = 0`` and ``k = f`` — because knocking out *too many*
+    neighbours can merge the islands a smaller fault set would keep apart.
     The search is sound (every returned witness is verified) but incomplete:
     ``None`` does not prove the condition holds.
+
+    ``max_seeds`` caps the number of seed nodes tried (evenly spaced over the
+    ``repr``-sorted node order, so the cap stays deterministic); ``None``
+    tries every node.  The verdict stack uses the cap to bound the layer's
+    cost on graphs with hundreds of nodes.
     """
     if f < 0:
         raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if max_seeds is not None and max_seeds < 1:
+        raise InvalidParameterError(f"max_seeds must be >= 1, got {max_seeds}")
     effective_threshold = f + 1 if threshold is None else threshold
     nodes = sorted(graph.nodes, key=repr)
     n = len(nodes)
     view = _bitset_view(graph)
 
-    for seed in nodes:
-        # Candidate fault sets: empty, and the up-to-f in-neighbours of the
-        # seed with the largest in-degree (knocking out well-connected
-        # neighbours is the most effective way to isolate the seed).
+    seeds = nodes
+    if max_seeds is not None and max_seeds < n:
+        stride = n / max_seeds
+        seeds = [nodes[int(index * stride)] for index in range(max_seeds)]
+
+    for seed in seeds:
+        # Candidate fault sets: every prefix of the seed's in-neighbours
+        # sorted by descending in-degree (knocking out well-connected
+        # neighbours is the most effective way to isolate the seed).  The
+        # pre-fix code only tried the empty set and the full top-f prefix,
+        # missing witnesses that need an intermediate fault set.
         neighbor_by_degree = sorted(
             graph.in_neighbors(seed), key=lambda v: (-graph.in_degree(v), repr(v))
         )
         fault_candidates = [frozenset()]
         if f > 0 and neighbor_by_degree:
-            fault_candidates.append(frozenset(neighbor_by_degree[:f]))
+            fault_candidates.extend(
+                frozenset(neighbor_by_degree[:size])
+                for size in range(1, min(f, len(neighbor_by_degree)) + 1)
+            )
         for fault_set in fault_candidates:
             if seed in fault_set:
                 continue
@@ -195,11 +256,17 @@ def greedy_witness_search(
             witness = _witness_from_left(
                 graph, fault_set, frozenset(left), effective_threshold, view=view
             )
-            if witness is not None and verify_witness(
-                graph, f, witness, threshold=effective_threshold
+            if witness is not None and verify_witness_fast(
+                graph, f, witness, threshold=effective_threshold, view=view
             ):
                 return witness
     return None
+
+
+#: Upper bound on raw RNG draws per requested attempt: duplicate samples are
+#: resampled without consuming an attempt, and this factor keeps the resample
+#: loop finite on tiny graphs whose sample space is quickly exhausted.
+DUPLICATE_DRAW_FACTOR = 8
 
 
 def random_witness_search(
@@ -215,6 +282,13 @@ def random_witness_search(
     set ``L₀``, computes the maximal insulated subset of ``V − F`` containing
     the seeds' side, and tries to complete it into a witness.  Sound but
     incomplete; useful on graphs beyond the exhaustive checker's cap.
+
+    Exact duplicates of an earlier ``(F, L₀)`` sample are resampled instead
+    of silently burning an attempt (bounded by ``DUPLICATE_DRAW_FACTOR``
+    draws per attempt so tiny sample spaces still terminate), and candidate
+    witnesses are re-verified through the bitset mask closure when the graph
+    fits a :class:`BitsetDigraphView`.  The search stays deterministic for a
+    fixed ``rng`` seed.
     """
     if f < 0:
         raise InvalidParameterError(f"f must be >= 0, got {f}")
@@ -230,7 +304,12 @@ def random_witness_search(
         return None
     view = _bitset_view(graph)
 
-    for _ in range(attempts):
+    seen: set[tuple[frozenset[NodeId], frozenset[NodeId]]] = set()
+    performed = 0
+    draws = 0
+    max_draws = attempts * DUPLICATE_DRAW_FACTOR
+    while performed < attempts and draws < max_draws:
+        draws += 1
         fault_size = int(generator.integers(0, f + 1)) if f > 0 else 0
         fault_indices = generator.choice(n, size=fault_size, replace=False)
         fault_set = frozenset(nodes[int(index)] for index in fault_indices)
@@ -244,6 +323,11 @@ def random_witness_search(
         left_pool = frozenset(
             node for node, flag in zip(remaining, side_mask) if flag
         )
+        sample = (fault_set, left_pool)
+        if sample in seen:
+            continue
+        seen.add(sample)
+        performed += 1
         right_pool = universe - left_pool
         if not left_pool or not right_pool:
             continue
@@ -261,6 +345,8 @@ def random_witness_search(
             center=universe - left - right,
             right=right,
         )
-        if verify_witness(graph, f, witness, threshold=effective_threshold):
+        if verify_witness_fast(
+            graph, f, witness, threshold=effective_threshold, view=view
+        ):
             return witness
     return None

@@ -44,6 +44,12 @@ from repro.experiments.families import (
     core_network_study,
     hypercube_study,
 )
+from repro.experiments.feasibility_scale import (
+    DEFAULT_SCALE_SIZES,
+    feasibility_scale_battery,
+    feasibility_scale_cell,
+    feasibility_scale_study,
+)
 from repro.experiments.necessity import (
     NecessityDemonstration,
     default_necessity_cases,
@@ -113,6 +119,10 @@ __all__ = [
     "core_network_minimality_comparison",
     "core_network_study",
     "hypercube_study",
+    "DEFAULT_SCALE_SIZES",
+    "feasibility_scale_battery",
+    "feasibility_scale_cell",
+    "feasibility_scale_study",
     "NecessityDemonstration",
     "default_necessity_cases",
     "demonstrate_necessity",

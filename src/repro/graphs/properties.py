@@ -189,9 +189,18 @@ def shortest_path_length(graph: Digraph, source: NodeId, target: NodeId) -> int 
 
 
 def diameter(graph: Digraph) -> int | None:
-    """Return the directed diameter, or ``None`` if the graph is not strongly
-    connected (some pair has no directed path)."""
+    """Return the directed diameter, or ``None`` if the graph is empty or not
+    strongly connected (some pair has no directed path).
+
+    The empty graph has no eccentricities to maximise, so its diameter is
+    undefined (``None``) — the pre-fix code skipped the per-source
+    strong-connectivity check vacuously and returned ``0``, conflating the
+    empty graph with a singleton.  A singleton graph is strongly connected
+    with diameter ``0``.
+    """
     nodes = sorted(graph.nodes, key=repr)
+    if not nodes:
+        return None
     worst = 0
     for source in nodes:
         distances: dict[NodeId, int] = {source: 0}

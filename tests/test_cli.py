@@ -145,3 +145,36 @@ class TestModuleEntryPoint:
         )
         assert completed.returncode == 0, completed.stderr
         assert "convergence_rate" in completed.stdout
+
+
+class TestVerdict:
+    def test_verdict_hypercube_is_infeasible_with_witness(self, capsys):
+        assert main(["verdict", "hypercube", "--n", "3", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:     INFEASIBLE" in out
+        assert "certificate: witness" in out
+        assert "re-verified: yes" in out
+        assert "exhaustive" in out
+
+    def test_verdict_core_like_is_feasible_via_screens(self, capsys):
+        assert main(["verdict", "core-like", "--n", "100", "--f", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:     FEASIBLE" in out
+        assert "certificate: core-structure" in out
+        assert "re-verified: yes" in out
+        assert "screens" in out
+
+    def test_verdict_sparse_erdos_renyi_fails_degree_screen(self, capsys):
+        code = main(
+            ["verdict", "erdos-renyi", "--n", "150", "--f", "2", "--p", "0.01"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict:     INFEASIBLE" in out
+        assert "certificate: in-degree-screen" in out
+
+    def test_unknown_family_rejected_by_argparse(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["verdict", "petersen", "--n", "10", "--f", "1"])

@@ -118,3 +118,100 @@ class TestRandomSearch:
         first = random_witness_search(graph, 1, attempts=100, rng=11)
         second = random_witness_search(graph, 1, attempts=100, rng=11)
         assert first == second
+
+
+#: A 13-node in-regular digraph (f = 2) whose only violating partitions use
+#: the one-node fault set {2}.  Node 1's in-neighbours sorted by descending
+#: in-degree start [2, 5, ...], so the pre-fix greedy search — which tried
+#: only the empty set and the full top-f prefix {2, 5} — returned None here;
+#: the intermediate prefix {2} is required.
+GREEDY_REGRESSION_EDGES = [
+    (0, 2), (0, 3), (0, 5), (0, 6), (0, 12), (1, 3), (1, 4), (2, 0), (2, 1),
+    (2, 4), (2, 6), (2, 7), (2, 11), (3, 5), (3, 8), (3, 9), (3, 12), (4, 2),
+    (4, 3), (4, 5), (4, 8), (4, 10), (4, 12), (5, 0), (5, 1), (5, 6), (5, 7),
+    (5, 8), (5, 9), (5, 10), (5, 11), (6, 1), (6, 3), (6, 4), (6, 5), (6, 7),
+    (6, 12), (7, 0), (7, 1), (7, 4), (7, 9), (7, 10), (7, 11), (8, 2), (8, 6),
+    (8, 11), (9, 0), (9, 1), (9, 2), (9, 5), (9, 7), (9, 10), (10, 2),
+    (10, 4), (10, 7), (10, 8), (10, 9), (10, 11), (11, 3), (11, 6), (11, 8),
+    (11, 9), (11, 12), (12, 0), (12, 10),
+]
+
+
+class TestSearchRegressions:
+    """Regression tests that fail on the pre-fix witness searches."""
+
+    def test_greedy_finds_intermediate_prefix_fault_set(self):
+        from repro.graphs import Digraph
+
+        graph = Digraph(nodes=range(13), edges=GREEDY_REGRESSION_EDGES)
+        exact = find_violating_partition(graph, 2)
+        assert exact is not None  # the graph genuinely violates Theorem 1
+        witness = greedy_witness_search(graph, 2)
+        assert witness is not None
+        assert verify_witness(graph, 2, witness)
+        # The witness needs the intermediate fault-set prefix (|F| = 1 < f).
+        assert len(witness.faulty) == 1
+
+    def test_greedy_max_seeds_is_deterministic_and_sound(self):
+        from repro.graphs import Digraph
+
+        graph = Digraph(nodes=range(13), edges=GREEDY_REGRESSION_EDGES)
+        capped_a = greedy_witness_search(graph, 2, max_seeds=5)
+        capped_b = greedy_witness_search(graph, 2, max_seeds=5)
+        assert capped_a == capped_b
+        if capped_a is not None:
+            assert verify_witness(graph, 2, capped_a)
+        with pytest.raises(InvalidParameterError):
+            greedy_witness_search(graph, 2, max_seeds=0)
+
+    def test_random_search_does_not_burn_attempts_on_duplicates(self):
+        # With rng=54 the first three raw samples contain a duplicate
+        # (F, bipartition) pair; the pre-fix search burned an attempt on it
+        # and returned None at attempts=3.  Skipping the duplicate frees one
+        # attempt and the search finds a genuine witness.
+        graph = hypercube(3)
+        witness = random_witness_search(graph, 1, attempts=3, rng=54)
+        assert witness is not None
+        assert verify_witness(graph, 1, witness)
+
+    def test_random_search_duplicate_skip_stays_deterministic(self):
+        graph = hypercube(3)
+        first = random_witness_search(graph, 1, attempts=3, rng=54)
+        second = random_witness_search(graph, 1, attempts=3, rng=54)
+        assert first == second
+
+    def test_random_search_verifies_via_bitset_view_when_available(self, monkeypatch):
+        # Regression: the pre-fix search re-verified every candidate with the
+        # slow pure-Python verify_witness even when a bitset view existed.
+        import repro.conditions.witnesses as witnesses_module
+
+        def _boom(*args, **kwargs):
+            raise AssertionError(
+                "verify_witness must not be called when a bitset view exists"
+            )
+
+        monkeypatch.setattr(witnesses_module, "verify_witness", _boom)
+        graph = hypercube(3)  # n = 8 <= MAX_BITSET_NODES
+        witness = random_witness_search(graph, 1, attempts=200, rng=1)
+        assert witness is not None
+        monkeypatch.undo()
+        assert verify_witness(graph, 1, witness)
+
+    def test_random_search_falls_back_to_python_verify_beyond_bitset_cap(
+        self, monkeypatch
+    ):
+        import repro.conditions.witnesses as witnesses_module
+
+        calls = {"count": 0}
+        original = witnesses_module.verify_witness
+
+        def _spy(*args, **kwargs):
+            calls["count"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(witnesses_module, "verify_witness", _spy)
+        graph = undirected_ring(70)  # n = 70 > MAX_BITSET_NODES
+        witness = random_witness_search(graph, 1, attempts=80, rng=3)
+        assert witness is not None
+        assert calls["count"] > 0
+        assert verify_witness(graph, 1, witness)

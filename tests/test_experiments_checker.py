@@ -80,3 +80,36 @@ class TestScalingWorkload:
                 graph, f, use_structural_shortcuts=False
             ).satisfied
             assert exhaustive_checker_workload(case) is expected
+
+
+class TestFeasibilityAtScale:
+    def test_battery_labels_are_unique_and_span_sizes(self):
+        from repro.experiments import DEFAULT_SCALE_SIZES, feasibility_scale_battery
+
+        battery = feasibility_scale_battery()
+        labels = [label for label, _, _ in battery]
+        assert len(labels) == len(set(labels))
+        for n in DEFAULT_SCALE_SIZES:
+            assert any(f"n={n}" in label for label in labels)
+
+    def test_cell_decides_core_like_with_valid_certificate(self):
+        from repro.experiments import feasibility_scale_cell
+
+        rows = feasibility_scale_cell("core-like n=100 f=3")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["status"] == "FEASIBLE"
+        assert row["decided_by"] == "screens"
+        assert row["certificate"] == "core-structure"
+        assert row["certificate_ok"] is True
+
+    def test_study_decides_majority_of_small_cases(self):
+        from repro.experiments import feasibility_scale_battery, feasibility_scale_study
+
+        battery = [
+            case for case in feasibility_scale_battery() if "n=100" in case[0]
+        ]
+        rows = feasibility_scale_study(battery=battery)
+        assert all(row["certificate_ok"] for row in rows)
+        decided = [row for row in rows if row["decided"]]
+        assert len(decided) * 2 >= len(rows)

@@ -103,6 +103,22 @@ class TestReachability:
         assert diameter(complete_graph(4)) == 1
         assert diameter(directed_path(3)) is None
 
+    def test_diameter_empty_graph_is_undefined(self):
+        # Regression: the pre-fix loop never ran on the empty graph, skipping
+        # the strong-connectivity check and returning 0 instead of None.
+        assert diameter(Digraph()) is None
+
+    def test_diameter_singleton_is_zero(self):
+        assert diameter(Digraph(nodes=[0])) == 0
+
+    def test_diameter_two_isolated_nodes_is_undefined(self):
+        assert diameter(Digraph(nodes=[0, 1])) is None
+
+    def test_strong_connectivity_degenerate_graphs(self):
+        assert is_strongly_connected(Digraph())
+        assert is_strongly_connected(Digraph(nodes=["solo"]))
+        assert not is_strongly_connected(Digraph(nodes=[0, 1]))
+
 
 class TestConnectivity:
     def test_complete_graph_connectivity(self):
@@ -122,6 +138,11 @@ class TestConnectivity:
     def test_disconnected_graph(self):
         graph = Digraph(nodes=[0, 1, 2, 3], edges=[(0, 1), (1, 0)])
         assert vertex_connectivity(graph) == 0
+
+    def test_degenerate_graphs_have_zero_connectivity(self):
+        assert vertex_connectivity(Digraph()) == 0
+        assert vertex_connectivity(Digraph(nodes=[0])) == 0
+        assert vertex_connectivity(Digraph(nodes=[0, 1])) == 0
 
     def test_matches_networkx_on_core_network(self):
         graph = core_network(7, 2)

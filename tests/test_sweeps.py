@@ -31,6 +31,7 @@ EXPECTED_EXPERIMENTS = {
     "convergence_rate",
     "corollaries",
     "families",
+    "feasibility_at_scale",
     "large_n",
     "necessity",
     "robustness",
