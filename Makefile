@@ -19,6 +19,11 @@
 #                    certificate guards -> BENCH_verdict.json
 #   make bench-verdict-smoke parity + certificate guards and one tiny timed
 #                    battery (no file written; CI runs this on every push)
+#   make bench-dynamic dynamic-topology masking-overhead benchmark
+#                    -> BENCH_dynamic.json
+#   make bench-dynamic-smoke tiny-n dynamic run: scalar/dense/sparse
+#                    equivalence guards under every schedule kind (no file
+#                    written; CI runs this on every push)
 #   make docs-check  docs exist, examples in them import, docstrings covered
 #   make sweep-smoke end-to-end CLI sweep: run a tiny sharded grid with two
 #                    workers, then re-open it with `repro report`
@@ -35,9 +40,10 @@ DOCSTRING_GATE = $(PYTHON) tools/check_docstrings.py \
 	--require repro.sweeps.orchestrator --require repro.sweeps.store \
 	--require repro.conditions.bitset --require repro.conditions.verdict \
 	--require repro.adversary.vectorized \
-	--require repro.simulation.sparse
+	--require repro.simulation.sparse \
+	--require repro.simulation.dynamic
 
-.PHONY: test test-fast bench bench-async bench-checker bench-checker-smoke bench-adversary bench-adversary-smoke bench-scale bench-scale-smoke bench-verdict bench-verdict-smoke docs-check sweep-smoke
+.PHONY: test test-fast bench bench-async bench-checker bench-checker-smoke bench-adversary bench-adversary-smoke bench-scale bench-scale-smoke bench-verdict bench-verdict-smoke bench-dynamic bench-dynamic-smoke docs-check sweep-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -79,6 +85,13 @@ bench-verdict-smoke:
 	$(PYTHON) benchmarks/bench_verdict.py --smoke
 	@git diff --quiet -- BENCH_verdict.json || { echo "bench-verdict-smoke must not modify BENCH_verdict.json"; exit 1; }
 
+bench-dynamic:
+	$(PYTHON) benchmarks/bench_dynamic.py
+
+bench-dynamic-smoke:
+	$(PYTHON) benchmarks/bench_dynamic.py --smoke
+	@git diff --quiet -- BENCH_dynamic.json || { echo "bench-dynamic-smoke must not modify BENCH_dynamic.json"; exit 1; }
+
 docs-check:
 	@test -f README.md || { echo "README.md missing"; exit 1; }
 	@test -f docs/architecture.md || { echo "docs/architecture.md missing"; exit 1; }
@@ -96,5 +109,15 @@ sweep-smoke:
 		--grid batch=8 --grid rounds=80 \
 		--workers 2 --results-dir .sweep-smoke --run-id smoke
 	$(PYTHON) -m repro report smoke --results-dir .sweep-smoke
+	$(PYTHON) -m repro run dynamic_topology \
+		--grid "case=core n=9 f=2" \
+		--grid "schedule_kind=static,composed" \
+		--grid batch=8 --grid rounds=30 \
+		--workers 2 --results-dir .sweep-smoke --run-id smoke-dynamic
+	$(PYTHON) -m repro report smoke-dynamic --results-dir .sweep-smoke
+	$(PYTHON) -m repro run churn_sweep \
+		--grid "p_awake=1.0,0.75" --grid batch=8 --grid rounds=60 \
+		--workers 2 --results-dir .sweep-smoke --run-id smoke-churn
+	$(PYTHON) -m repro report smoke-churn --results-dir .sweep-smoke
 	rm -rf .sweep-smoke
 	@echo "sweep smoke OK"

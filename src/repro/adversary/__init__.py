@@ -17,6 +17,7 @@ from repro.adversary.strategies import (
     StaticValueStrategy,
 )
 from repro.adversary.vectorized import (
+    BatchAdaptiveStrategy,
     BatchAdversaryContext,
     BatchBroadcastConsistentWrapper,
     BatchExtremePushStrategy,
@@ -31,6 +32,7 @@ from repro.adversary.vectorized import (
 )
 
 __all__ = [
+    "BatchAdaptiveStrategy",
     "BatchAdversaryContext",
     "BatchBroadcastConsistentWrapper",
     "BatchExtremePushStrategy",

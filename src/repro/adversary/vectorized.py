@@ -79,6 +79,13 @@ class BatchAdversaryContext:
         must fill, in the order the returned value matrix is interpreted.
     edge_source_columns / edge_target_columns:
         The same channels as column indices into ``state``.
+    active_edge_mask:
+        ``(E_f,)`` bool, or ``None``.  Populated by schedule-aware engines
+        (:mod:`repro.simulation.dynamic`): ``False`` marks channels that are
+        masked down this round (the receiver substitutes its own value), so
+        an adaptive strategy can avoid wasting pushes on dead channels.
+        ``None`` means every channel is live.  Strategies must still return
+        a value for **every** channel — the engine applies the masking.
     """
 
     graph: Digraph
@@ -92,6 +99,7 @@ class BatchAdversaryContext:
     edge_nodes: tuple[tuple[NodeId, NodeId], ...]
     edge_source_columns: np.ndarray
     edge_target_columns: np.ndarray
+    active_edge_mask: np.ndarray | None = None
 
     @property
     def batch_size(self) -> int:
@@ -209,11 +217,23 @@ class _ChannelLayoutStrategy(BatchStrategy):
     use and reused for the whole run.  Driving one instance against a
     different engine (different channel order or graph) transparently
     rebuilds the layout.
+
+    Under a dynamic topology schedule the channel *order* is still static,
+    but ``context.active_edge_mask`` varies per round.  A strategy whose
+    layout depends on the mask must set ``mask_sensitive = True``: the cache
+    is then additionally keyed on the mask bytes and rebuilt whenever the
+    round's mask differs from the cached one.  The shipped strategies all
+    derive mask-independent layouts and keep the default (``False``), so a
+    static-schedule run pays no extra cache churn.
     """
+
+    #: Whether :meth:`_build_layout` reads ``context.active_edge_mask``.
+    mask_sensitive: bool = False
 
     def __init__(self) -> None:
         self._layout_graph: Digraph | None = None
         self._layout_key: tuple[tuple[NodeId, NodeId], ...] | None = None
+        self._layout_mask_key: bytes | None = None
         self._layout: object = None
 
     def _build_layout(self, context: BatchAdversaryContext) -> object:
@@ -221,13 +241,21 @@ class _ChannelLayoutStrategy(BatchStrategy):
         raise NotImplementedError
 
     def _layout_for(self, context: BatchAdversaryContext) -> object:
-        if self._layout_graph is not context.graph or (
-            self._layout_key is not context.edge_nodes
-            and self._layout_key != context.edge_nodes
+        mask_key: bytes | None = None
+        if self.mask_sensitive and context.active_edge_mask is not None:
+            mask_key = np.asarray(context.active_edge_mask, dtype=bool).tobytes()
+        if (
+            self._layout_graph is not context.graph
+            or (
+                self._layout_key is not context.edge_nodes
+                and self._layout_key != context.edge_nodes
+            )
+            or self._layout_mask_key != mask_key
         ):
             self._layout = self._build_layout(context)
             self._layout_graph = context.graph
             self._layout_key = context.edge_nodes
+            self._layout_mask_key = mask_key
         return self._layout
 
 
@@ -507,6 +535,228 @@ class BatchBroadcastConsistentWrapper(_ChannelLayoutStrategy):
 
     def nominal_values(self, context: BatchAdversaryContext) -> np.ndarray:
         return self._inner.nominal_values(context)
+
+
+@dataclass(frozen=True)
+class _ProbeGroup:
+    """One in-degree group of the adaptive strategy's lookahead probe.
+
+    Mirrors the dense engine's ``_DegreeGroup`` but spans **all** fault-free
+    receivers (the probe simulates the full round, not just the faulty
+    channels): ``in_idx`` gathers the received block, ``edge_index`` /
+    ``edge_rows`` / ``edge_slots`` scatter a candidate channel fill into it.
+    """
+
+    degree: int
+    columns: np.ndarray
+    in_idx: np.ndarray
+    edge_index: np.ndarray
+    edge_rows: np.ndarray
+    edge_slots: np.ndarray
+
+
+class BatchAdaptiveStrategy(_ChannelLayoutStrategy):
+    """Adaptive worst-case adversary: observe the batch state, pick the push
+    that keeps the fault-free spread widest.
+
+    Three candidate fills are considered each round, all built from the
+    fault-free extremes ``U[t−1]`` / ``µ[t−1]``:
+
+    * ``split`` — the :class:`BatchExtremePushStrategy` arithmetic
+      (``U + delta`` into receivers at or above the fault-free midpoint,
+      ``µ − delta`` into the rest);
+    * ``high`` — ``U + delta`` on every channel;
+    * ``low`` — ``µ − delta`` on every channel.
+
+    ``mode="greedy"`` picks between all-high and all-low by majority: if at
+    least as many fault-free states sit at or above the midpoint as below,
+    push high (drag the minority up is hopeless, so reinforce the crowded
+    side), else push low.  No probe round is simulated.
+
+    ``mode="lookahead"`` (default) simulates one full trimmed round per
+    candidate — the 1-lookahead — and keeps, per batch row, the candidate
+    whose post-round fault-free spread is largest (ties break toward
+    ``split``, then ``high``).  The probe replays the engines' exact kernel
+    (sort, trim ``[f : d − f]``, own-first sequential mean or midpoint, per
+    ``rule_mode``) and honours ``context.active_edge_mask`` on faulty
+    channels (a down channel self-substitutes, exactly as the engine will).
+    Fault-free-sender edges are assumed up and all receivers awake in the
+    probe — a documented approximation: under heavy churn the lookahead
+    scores are estimates, but every returned fill is still applied by the
+    engine with the true masks.
+
+    The strategy draws no randomness: its choice is a pure function of the
+    round's state, so runs are deterministic and the dense and sparse
+    engines agree bit-for-bit (there is no scalar counterpart).
+
+    Parameters
+    ----------
+    mode:
+        ``"lookahead"`` (default) or ``"greedy"``.
+    delta:
+        How far beyond the fault-free extremes to push (``>= 0``).
+    rule_mode:
+        ``"mean"`` (default) or ``"midpoint"`` — must match the engine's
+        update rule for the lookahead to replay the kernel faithfully.
+    """
+
+    #: The probe layout derives only from the channel order, never from the
+    #: round's mask (the mask is applied per probe call), so the inherited
+    #: mask-insensitive cache key is correct.
+    mask_sensitive = False
+
+    def __init__(
+        self,
+        mode: str = "lookahead",
+        delta: float = 1.0,
+        rule_mode: str = "mean",
+    ) -> None:
+        super().__init__()
+        if mode not in ("greedy", "lookahead"):
+            raise InvalidParameterError(
+                f"mode must be 'greedy' or 'lookahead', got {mode!r}"
+            )
+        if rule_mode not in ("mean", "midpoint"):
+            raise InvalidParameterError(
+                f"rule_mode must be 'mean' or 'midpoint', got {rule_mode!r}"
+            )
+        if delta < 0:
+            raise InvalidParameterError(f"delta must be >= 0, got {delta}")
+        self._mode = mode
+        self._delta = float(delta)
+        self._rule_mode = rule_mode
+        self.name = f"batch-adaptive({mode})"
+
+    @property
+    def mode(self) -> str:
+        """The decision mode: ``"greedy"`` or ``"lookahead"``."""
+        return self._mode
+
+    @property
+    def delta(self) -> float:
+        """How far beyond the fault-free extremes the adversary pushes."""
+        return self._delta
+
+    def _build_layout(self, context: BatchAdversaryContext) -> tuple[_ProbeGroup, ...]:
+        column_of = {node: c for c, node in enumerate(context.nodes)}
+        channel_index = {
+            edge: position for position, edge in enumerate(context.edge_nodes)
+        }
+        by_degree: dict[int, dict[str, list]] = {}
+        for column in context.fault_free_columns:
+            receiver = context.nodes[int(column)]
+            senders = sorted(context.graph.in_neighbors(receiver), key=repr)
+            group = by_degree.setdefault(
+                len(senders),
+                {"cols": [], "in_idx": [], "edge_index": [], "rows": [], "slots": []},
+            )
+            row = len(group["cols"])
+            group["cols"].append(int(column))
+            group["in_idx"].append([column_of[s] for s in senders])
+            for slot, sender in enumerate(senders):
+                channel = channel_index.get((sender, receiver))
+                if channel is not None:
+                    group["edge_index"].append(channel)
+                    group["rows"].append(row)
+                    group["slots"].append(slot)
+        groups = []
+        for degree in sorted(by_degree):
+            group = by_degree[degree]
+            groups.append(
+                _ProbeGroup(
+                    degree=degree,
+                    columns=np.array(group["cols"], dtype=int),
+                    in_idx=np.array(group["in_idx"], dtype=int).reshape(
+                        len(group["cols"]), degree
+                    ),
+                    edge_index=np.array(group["edge_index"], dtype=int),
+                    edge_rows=np.array(group["rows"], dtype=int),
+                    edge_slots=np.array(group["slots"], dtype=int),
+                )
+            )
+        return tuple(groups)
+
+    def _probe(
+        self,
+        context: BatchAdversaryContext,
+        fill: np.ndarray,
+        groups: tuple[_ProbeGroup, ...],
+    ) -> np.ndarray:
+        """Simulate one trimmed round under ``fill``; return the ``(B,)``
+        post-round fault-free spread."""
+        state = context.state
+        f = context.f
+        mask = context.active_edge_mask
+        batch = context.batch_size
+        low = np.full(batch, np.inf)
+        high = np.full(batch, -np.inf)
+        for group in groups:
+            received = state[:, group.in_idx]
+            if group.edge_index.size:
+                received[:, group.edge_rows, group.edge_slots] = fill[
+                    :, group.edge_index
+                ]
+                if mask is not None:
+                    bad = ~mask[group.edge_index]
+                    if bad.any():
+                        received[:, group.edge_rows[bad], group.edge_slots[bad]] = (
+                            state[:, group.columns[group.edge_rows[bad]]]
+                        )
+            received.sort(axis=-1)
+            survivors = received[:, :, f : group.degree - f]
+            own = state[:, group.columns]
+            if self._rule_mode == "mean":
+                full = np.concatenate([own[:, :, None], survivors], axis=2)
+                values = np.cumsum(full, axis=2)[:, :, -1] / float(full.shape[2])
+            else:  # midpoint
+                mins = np.minimum(own, survivors.min(axis=2, initial=np.inf))
+                maxs = np.maximum(own, survivors.max(axis=2, initial=-np.inf))
+                values = (mins + maxs) / 2.0
+            low = np.minimum(low, values.min(axis=1))
+            high = np.maximum(high, values.max(axis=1))
+        return high - low
+
+    def edge_values(self, context: BatchAdversaryContext) -> np.ndarray:
+        batch = context.batch_size
+        channels = len(context.edge_nodes)
+        if channels == 0:
+            return np.zeros((batch, 0))
+        upper = context.fault_free_max
+        lower = context.fault_free_min
+        midpoint = (upper + lower) / 2.0
+        high_value = upper + self._delta
+        low_value = lower - self._delta
+        high_fill = np.broadcast_to(high_value[:, None], (batch, channels))
+        low_fill = np.broadcast_to(low_value[:, None], (batch, channels))
+
+        if self._mode == "greedy":
+            fault_free = context.fault_free_states
+            above = (fault_free >= midpoint[:, None]).sum(axis=1)
+            below = fault_free.shape[1] - above
+            return np.where((above >= below)[:, None], high_fill, low_fill)
+
+        receiver_state = context.state[:, context.edge_target_columns]
+        split_fill = np.where(
+            receiver_state >= midpoint[:, None],
+            high_value[:, None],
+            low_value[:, None],
+        )
+        groups = self._layout_for(context)
+        spreads = np.stack(
+            [
+                self._probe(context, fill, groups)
+                for fill in (split_fill, high_fill, low_fill)
+            ]
+        )
+        best = np.argmax(spreads, axis=0)  # ties break toward split, then high
+        out = split_fill.copy()
+        rows_high = best == 1
+        if rows_high.any():
+            out[rows_high] = high_fill[rows_high]
+        rows_low = best == 2
+        if rows_low.any():
+            out[rows_low] = low_fill[rows_low]
+        return out
 
 
 class ScalarStrategyAdapter(BatchStrategy):

@@ -44,6 +44,16 @@ from repro.experiments.families import (
     core_network_study,
     hypercube_study,
 )
+from repro.experiments.dynamic import (
+    CHURN_P_AWAKE,
+    DYNAMIC_SCHEDULE_KINDS,
+    churn_sweep_cell,
+    churn_sweep_study,
+    default_dynamic_cases,
+    dynamic_topology_cell,
+    dynamic_topology_study,
+    make_dynamic_schedule,
+)
 from repro.experiments.feasibility_scale import (
     DEFAULT_SCALE_SIZES,
     feasibility_scale_battery,
@@ -119,6 +129,14 @@ __all__ = [
     "core_network_minimality_comparison",
     "core_network_study",
     "hypercube_study",
+    "CHURN_P_AWAKE",
+    "DYNAMIC_SCHEDULE_KINDS",
+    "churn_sweep_cell",
+    "churn_sweep_study",
+    "default_dynamic_cases",
+    "dynamic_topology_cell",
+    "dynamic_topology_study",
+    "make_dynamic_schedule",
     "DEFAULT_SCALE_SIZES",
     "feasibility_scale_battery",
     "feasibility_scale_cell",

@@ -6,6 +6,19 @@ from repro.simulation.async_engine import (
     canonical_edge_order,
     run_partially_asynchronous,
 )
+from repro.simulation.dynamic import (
+    ComposedSchedule,
+    PeriodicChurnSchedule,
+    PeriodicEdgeSchedule,
+    RandomChurnSchedule,
+    RandomEdgeSchedule,
+    RoundActivity,
+    ScheduleLayout,
+    StaticSchedule,
+    TopologySchedule,
+    resolve_activity,
+    schedule_rng,
+)
 from repro.simulation.engine import (
     SimulationConfig,
     SynchronousEngine,
@@ -19,6 +32,7 @@ from repro.simulation.inputs import (
 )
 from repro.simulation.metrics import (
     VALIDITY_TOLERANCE,
+    ParticipationValidityTracker,
     ValidityTracker,
     empirical_contraction_ratios,
     fault_free_extremes,
@@ -74,7 +88,19 @@ __all__ = [
     "linear_ramp_inputs",
     "split_inputs_from_witness",
     "uniform_random_inputs",
+    "ComposedSchedule",
+    "PeriodicChurnSchedule",
+    "PeriodicEdgeSchedule",
+    "RandomChurnSchedule",
+    "RandomEdgeSchedule",
+    "RoundActivity",
+    "ScheduleLayout",
+    "StaticSchedule",
+    "TopologySchedule",
+    "resolve_activity",
+    "schedule_rng",
     "VALIDITY_TOLERANCE",
+    "ParticipationValidityTracker",
     "ValidityTracker",
     "empirical_contraction_ratios",
     "fault_free_extremes",

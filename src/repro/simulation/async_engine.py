@@ -59,6 +59,11 @@ from repro.exceptions import (
     ValidityViolationError,
 )
 from repro.graphs.digraph import Digraph
+from repro.simulation.dynamic import (
+    ScheduleLayout,
+    TopologySchedule,
+    resolve_activity,
+)
 from repro.simulation.engine import SimulationConfig
 from repro.simulation.metrics import fault_free_extremes, within_hull
 from repro.simulation.trace import ExecutionTrace
@@ -98,6 +103,15 @@ class PartiallyAsynchronousEngine:
     rng:
         Source of randomness for delays and activations, consumed according
         to the module-level RNG-stream contract.
+    schedule:
+        Optional :class:`~repro.simulation.dynamic.TopologySchedule`.  A
+        message sent over a masked channel (edge down, or sender asleep) is
+        simply never delivered — its delay is still drawn, so the RNG stream
+        is mask-independent.  An asleep receiver keeps its state frozen for
+        the round (its buffers keep absorbing deliveries), composing with the
+        activation coins by intersection.  Note this differs from the
+        synchronous engines' self-substitution semantics: with a schedule,
+        ``max_delay=0`` no longer degenerates to the synchronous engines.
     """
 
     def __init__(
@@ -110,6 +124,7 @@ class PartiallyAsynchronousEngine:
         max_delay: int = 1,
         update_probability: float = 1.0,
         rng: np.random.Generator | int | None = None,
+        schedule: TopologySchedule | None = None,
     ) -> None:
         if max_delay < 0:
             raise InvalidParameterError(f"max_delay must be >= 0, got {max_delay}")
@@ -146,6 +161,15 @@ class PartiallyAsynchronousEngine:
         self._ff_sorted: tuple[NodeId, ...] = tuple(
             sorted(fault_free, key=repr)
         )
+        self._schedule = schedule
+        self._sched_layout = (
+            ScheduleLayout.for_graph(graph) if schedule is not None else None
+        )
+
+    @property
+    def schedule(self) -> TopologySchedule | None:
+        """The topology schedule driving per-round masks, if any."""
+        return self._schedule
 
     @property
     def max_delay(self) -> int:
@@ -197,9 +221,22 @@ class PartiallyAsynchronousEngine:
         current_spread = initial_spread
         converged = config.stop_on_convergence and initial_spread <= config.tolerance
 
+        layout = self._sched_layout
         for round_index in range(1, config.max_rounds + 1):
             if converged:
                 break
+            # Per-round masks; ``resolve_activity`` is a pure function, and
+            # masking is applied downstream of both the adversary and the
+            # delay draws, so every RNG stream stays mask-independent.
+            activity = (
+                resolve_activity(self._schedule, round_index, layout)
+                if self._schedule is not None
+                else None
+            )
+            if activity is not None and activity.is_static:
+                activity = None
+            edge_up = activity.edge_up if activity is not None else None
+            awake = activity.awake if activity is not None else None
             context = AdversaryContext(
                 graph=graph,
                 round_index=round_index,
@@ -234,6 +271,15 @@ class PartiallyAsynchronousEngine:
                 else None
             )
             for position, (sender, target) in enumerate(self._canonical_edges):
+                # The delay is drawn for every edge, but a masked channel's
+                # message (edge down, or sender asleep) is never delivered.
+                channel_up = True
+                if edge_up is not None:
+                    channel_up = bool(edge_up[position])
+                if channel_up and awake is not None:
+                    channel_up = bool(awake[layout.node_index[sender]])
+                if not channel_up:
+                    continue
                 if sender in self._faulty:
                     value = faulty_messages[sender][target]
                 else:
@@ -270,6 +316,10 @@ class PartiallyAsynchronousEngine:
                     )
                     continue
                 if active is not None and node not in active:
+                    continue
+                # Receiver sleep composes with the activation coins by
+                # intersection: an asleep node keeps its state frozen.
+                if awake is not None and not awake[layout.node_index[node]]:
                     continue
                 received = [
                     ReceivedValue(sender=sender, value=freshest[(sender, node)][1])
@@ -327,6 +377,7 @@ def run_partially_asynchronous(
     tolerance: float = 1e-7,
     record_history: bool = True,
     rng: np.random.Generator | int | None = None,
+    schedule: TopologySchedule | None = None,
 ) -> ConsensusOutcome:
     """Functional wrapper around :class:`PartiallyAsynchronousEngine`."""
     config = SimulationConfig(
@@ -343,5 +394,6 @@ def run_partially_asynchronous(
         max_delay=max_delay,
         update_probability=update_probability,
         rng=rng,
+        schedule=schedule,
     )
     return engine.run(inputs)

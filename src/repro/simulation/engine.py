@@ -28,7 +28,16 @@ from repro.exceptions import (
     ValidityViolationError,
 )
 from repro.graphs.digraph import Digraph
-from repro.simulation.metrics import ValidityTracker, fault_free_extremes
+from repro.simulation.dynamic import (
+    ScheduleLayout,
+    TopologySchedule,
+    resolve_activity,
+)
+from repro.simulation.metrics import (
+    ParticipationValidityTracker,
+    ValidityTracker,
+    fault_free_extremes,
+)
 from repro.simulation.trace import ExecutionTrace
 from repro.types import ConsensusOutcome, NodeId, ReceivedValue, ValueMap
 
@@ -91,6 +100,12 @@ class SynchronousEngine:
         the protocol), which is the correct control when ``faulty`` is empty.
     config:
         Engine configuration; see :class:`SimulationConfig`.
+    schedule:
+        Optional :class:`~repro.simulation.dynamic.TopologySchedule`.  A down
+        (or asleep-sender) edge contributes the receiver's own previous value
+        in place of the message (self-substitution), and an asleep receiver
+        skips its update while staying visible on its out-edges; see
+        :mod:`repro.simulation.dynamic` for the full semantics.
     """
 
     def __init__(
@@ -100,12 +115,17 @@ class SynchronousEngine:
         faulty: frozenset[NodeId] | set[NodeId] = frozenset(),
         adversary: ByzantineStrategy | None = None,
         config: SimulationConfig | None = None,
+        schedule: TopologySchedule | None = None,
     ) -> None:
         self._graph = graph
         self._rule = rule
         self._faulty = frozenset(faulty)
         self._adversary = adversary if adversary is not None else PassiveStrategy()
         self._config = config if config is not None else SimulationConfig()
+        self._schedule = schedule
+        self._sched_layout = (
+            ScheduleLayout.for_graph(graph) if schedule is not None else None
+        )
 
         unknown = self._faulty - graph.nodes
         if unknown:
@@ -151,6 +171,11 @@ class SynchronousEngine:
         """The engine configuration."""
         return self._config
 
+    @property
+    def schedule(self) -> TopologySchedule | None:
+        """The topology schedule, or ``None`` for a static run."""
+        return self._schedule
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -162,6 +187,24 @@ class SynchronousEngine:
         by the adversary strategy (recorded for tracing only).
         """
         graph = self._graph
+        # Resolve this round's topology masks up front.  The adversary below
+        # is still interrogated for every channel regardless of the masks, so
+        # RNG-backed strategies consume the exact same draws as in a static
+        # run (masking is applied downstream of the strategy).
+        edge_up_of: dict[tuple[NodeId, NodeId], bool] | None = None
+        awake_of: dict[NodeId, bool] | None = None
+        if self._schedule is not None:
+            activity = resolve_activity(
+                self._schedule, round_index, self._sched_layout
+            )
+            if activity.edge_up is not None:
+                edge_up_of = dict(
+                    zip(self._sched_layout.edges, activity.edge_up.tolist())
+                )
+            if activity.awake is not None:
+                awake_of = dict(
+                    zip(self._sched_layout.node_order, activity.awake.tolist())
+                )
         context = AdversaryContext(
             graph=graph,
             round_index=round_index,
@@ -190,13 +233,27 @@ class SynchronousEngine:
         new_state: dict[NodeId, float] = {}
         for node in graph.nodes:
             if node in self._faulty:
+                # Sleep masks a faulty node's channels, not its nominal trace
+                # label: the adversary's reported value is recorded as-is.
                 new_state[node] = float(
                     self._adversary.nominal_value(node, context)
                 )
                 continue
+            if awake_of is not None and not awake_of[node]:
+                # Asleep receiver: skip the update, keep the frozen state
+                # (still visible on out-edges via ``state`` next round).
+                new_state[node] = state[node]
+                continue
             received = []
             for sender in sorted(graph.in_neighbors(node), key=repr):
-                if sender in self._faulty:
+                channel_up = (
+                    edge_up_of is None or edge_up_of[(sender, node)]
+                ) and (awake_of is None or awake_of[sender])
+                if not channel_up:
+                    # Down edge or asleep sender: the dead slot carries the
+                    # receiver's own previous value (self-substitution).
+                    value = state[node]
+                elif sender in self._faulty:
                     value = faulty_messages[sender][node]
                 else:
                     value = state[sender]
@@ -224,6 +281,14 @@ class SynchronousEngine:
         }
 
         trace = ExecutionTrace(faulty=self._faulty)
+        # Under a schedule the participation-aware tracker additionally
+        # checks that asleep nodes hold their frozen value exactly; on a
+        # static run it degenerates to the plain hull tracker.
+        ff_sorted = sorted(graph.nodes - self._faulty, key=repr)
+        participation: ParticipationValidityTracker | None = None
+        if self._schedule is not None:
+            participation = ParticipationValidityTracker()
+            participation.observe([state[node] for node in ff_sorted])
         validity = ValidityTracker()
         low, high = fault_free_extremes(state, self._faulty)
         validity.observe(low, high)
@@ -241,6 +306,21 @@ class SynchronousEngine:
             rounds_executed = round_index
             low, high = fault_free_extremes(state, self._faulty)
             validity.observe(low, high)
+            if participation is not None:
+                # ``activity`` is a pure function of the round, so re-querying
+                # here returns the exact mask ``step`` just applied.
+                activity = resolve_activity(
+                    self._schedule, round_index, self._sched_layout
+                )
+                awake = None
+                if activity.awake is not None:
+                    awake_of = dict(
+                        zip(self._sched_layout.node_order, activity.awake.tolist())
+                    )
+                    awake = [awake_of[node] for node in ff_sorted]
+                participation.observe(
+                    [state[node] for node in ff_sorted], awake=awake
+                )
             if config.strict_validity and not validity.ok:
                 raise ValidityViolationError(
                     f"validity violated at round {round_index}: the fault-free "
@@ -257,12 +337,15 @@ class SynchronousEngine:
         final_values = {
             node: state[node] for node in graph.nodes if node not in self._faulty
         }
+        validity_ok = validity.ok
+        if participation is not None:
+            validity_ok = validity_ok and participation.ok
         return ConsensusOutcome(
             converged=converged,
             rounds_executed=rounds_executed,
             final_spread=current_spread,
             initial_spread=initial_spread,
-            validity_ok=validity.ok,
+            validity_ok=validity_ok,
             final_values=final_values,
             history=trace.as_records() if config.record_history else tuple(),
         )
@@ -279,6 +362,7 @@ def run_synchronous(
     record_history: bool = True,
     strict_validity: bool = False,
     stop_on_convergence: bool = True,
+    schedule: TopologySchedule | None = None,
 ) -> ConsensusOutcome:
     """Functional wrapper around :class:`SynchronousEngine`.
 
@@ -293,6 +377,11 @@ def run_synchronous(
         stop_on_convergence=stop_on_convergence,
     )
     engine = SynchronousEngine(
-        graph=graph, rule=rule, faulty=faulty, adversary=adversary, config=config
+        graph=graph,
+        rule=rule,
+        faulty=faulty,
+        adversary=adversary,
+        config=config,
+        schedule=schedule,
     )
     return engine.run(inputs)

@@ -14,7 +14,7 @@ decide convergence against a tolerance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.exceptions import InvalidParameterError
 from repro.types import NodeId
@@ -106,6 +106,98 @@ class ValidityTracker:
     def initial_interval(self) -> tuple[float, float] | None:
         """Return ``(µ[0], U[0])``, or ``None`` before any observation."""
         return self._initial
+
+
+class ParticipationValidityTracker:
+    """Participation-aware validity tracking for churn/sleep-wake runs.
+
+    Under a churn schedule the paper's hull condition still has to hold over
+    **all** fault-free nodes, awake or asleep: an asleep node keeps its frozen
+    state, which remains part of the fault-free hull, so excluding it would
+    let the observed interval *appear* tighter than it is and mask a real
+    escape.  This tracker therefore layers two checks on one execution:
+
+    * **Hull check** — the extremes over all fault-free values must never
+      widen, delegated to an internal :class:`ValidityTracker` (inheriting
+      its running-tightest-interval logic; naive per-round slack would let
+      the hull drift by ``rounds × slack``, the PR 5 drift bug).
+    * **Sleep check** — an asleep node's value must equal its previous value
+      **exactly** (no slack: engines freeze by copying, so any difference is
+      an engine bug, not floating-point noise).
+
+    Feed :meth:`observe` the fault-free values (fixed order) once per round,
+    round 0 first; the ``awake`` mask describes which of those fault-free
+    nodes executed the round's update (ignored at round 0, where the values
+    are inputs).
+    """
+
+    def __init__(self, slack: float = VALIDITY_TOLERANCE) -> None:
+        self._hull = ValidityTracker(slack=slack)
+        self._previous: tuple[float, ...] | None = None
+        self.sleep_ok: bool = True
+        self.first_sleep_violation_round: int | None = None
+
+    def observe(
+        self, values: Sequence[float], awake: Sequence[bool] | None = None
+    ) -> None:
+        """Record one round's fault-free values and participation mask."""
+        values = tuple(float(value) for value in values)
+        if not values:
+            raise InvalidParameterError(
+                "cannot track validity without fault-free values"
+            )
+        if self._previous is not None and len(values) != len(self._previous):
+            raise InvalidParameterError(
+                f"observed {len(values)} fault-free values after "
+                f"{len(self._previous)} in the previous round"
+            )
+        if self._previous is not None and awake is not None:
+            if len(awake) != len(values):
+                raise InvalidParameterError(
+                    f"awake mask has {len(awake)} entries for "
+                    f"{len(values)} fault-free values"
+                )
+            for position, is_awake in enumerate(awake):
+                if is_awake:
+                    continue
+                if values[position] != self._previous[position] and self.sleep_ok:
+                    self.sleep_ok = False
+                    self.first_sleep_violation_round = self._hull.rounds_observed
+        self._hull.observe(min(values), max(values))
+        self._previous = values
+
+    @property
+    def ok(self) -> bool:
+        """Whether both the hull and the sleep condition held every round."""
+        return self._hull.ok and self.sleep_ok
+
+    @property
+    def hull_ok(self) -> bool:
+        """Whether the fault-free hull never widened (eq. 1)."""
+        return self._hull.ok
+
+    @property
+    def rounds_observed(self) -> int:
+        """Number of rounds observed so far (round 0 included)."""
+        return self._hull.rounds_observed
+
+    @property
+    def first_violation_round(self) -> int | None:
+        """Earliest round either check failed, or ``None``."""
+        candidates = [
+            round_index
+            for round_index in (
+                self._hull.first_violation_round,
+                self.first_sleep_violation_round,
+            )
+            if round_index is not None
+        ]
+        return min(candidates) if candidates else None
+
+    @property
+    def initial_interval(self) -> tuple[float, float] | None:
+        """Return ``(µ[0], U[0])``, or ``None`` before any observation."""
+        return self._hull.initial_interval
 
 
 def empirical_contraction_ratios(spreads: Iterable[float]) -> list[float]:

@@ -67,6 +67,7 @@ from repro.exceptions import (
     SimulationError,
 )
 from repro.graphs.digraph import Digraph
+from repro.simulation.dynamic import ScheduleLayout, TopologySchedule
 from repro.simulation.engine import SimulationConfig
 from repro.simulation.vectorized import (
     EquivalenceReport,
@@ -126,6 +127,7 @@ class SparseEngine(VectorizedEngine):
         faulty: frozenset[NodeId] | set[NodeId] = frozenset(),
         adversary: BatchStrategy | ByzantineStrategy | None = None,
         config: SimulationConfig | None = None,
+        schedule: TopologySchedule | None = None,
         *,
         dtype: np.dtype | type = np.float64,
         max_plane_bytes: int | None = None,
@@ -146,7 +148,12 @@ class SparseEngine(VectorizedEngine):
             int(max_plane_bytes) if max_plane_bytes is not None else None
         )
         super().__init__(
-            graph, rule, faulty=faulty, adversary=adversary, config=config
+            graph,
+            rule,
+            faulty=faulty,
+            adversary=adversary,
+            config=config,
+            schedule=schedule,
         )
 
     # ------------------------------------------------------------------
@@ -251,6 +258,33 @@ class SparseEngine(VectorizedEngine):
         )
         self._plane_row_elements = self._plane_indices.size + 2 * max_trim_block
 
+    def _build_schedule_arrays(self) -> None:
+        """Precompute plane-order translations of schedule masks.
+
+        Overrides the dense variant (the sparse engine has no degree
+        groups): ``_plane_edge_pos`` maps every flat plane slot to its
+        canonical directed-edge position and ``_plane_recv_cols`` to its
+        receiver's state column, so a round's ``(E,)`` edge mask becomes a
+        flat list of down plane slots plus their self-substitution sources.
+        """
+        layout = ScheduleLayout.for_graph(self._graph)
+        self._sched_layout = layout
+        self._chan_edge_pos = np.array(
+            [layout.edge_index[edge] for edge in self._edge_nodes], dtype=int
+        )
+        plane_edge_pos: list[int] = []
+        plane_recv_cols: list[int] = []
+        for bucket in self._buckets:
+            for column in bucket.columns:
+                receiver = self._nodes[int(column)]
+                senders = sorted(self._graph.in_neighbors(receiver), key=repr)
+                plane_edge_pos.extend(
+                    layout.edge_index[(sender, receiver)] for sender in senders
+                )
+                plane_recv_cols.extend([int(column)] * len(senders))
+        self._plane_edge_pos = np.array(plane_edge_pos, dtype=np.int64)
+        self._plane_recv_cols = np.array(plane_recv_cols, dtype=np.int64)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -319,10 +353,17 @@ class SparseEngine(VectorizedEngine):
             )
         batch = state.shape[0]
 
+        # Masks are resolved once per round (before tiling) exactly like the
+        # adversary: every tile sees the same round activity, and the
+        # adversary's draws stay mask-independent.
+        activity = self._round_activity(round_index)
+
         context = None
         channel_values: np.ndarray | None = None
         if self._faulty_cols.size:
-            context = self._context(state, round_index)
+            context = self._context(
+                state, round_index, active_edge_mask=self._channel_mask(activity)
+            )
             channel_values = np.asarray(
                 self._adversary.edge_values(context), dtype=self._dtype
             )
@@ -333,6 +374,18 @@ class SparseEngine(VectorizedEngine):
                     f"values of shape {channel_values.shape}; expected {expected}"
                 )
 
+        down_slots: np.ndarray | None = None
+        down_recv: np.ndarray | None = None
+        if activity is not None:
+            up = np.ones(self._plane_indices.shape, dtype=bool)
+            if activity.edge_up is not None:
+                up &= activity.edge_up[self._plane_edge_pos]
+            if activity.awake is not None:
+                up &= activity.awake[self._plane_indices]
+            if not up.all():
+                down_slots = np.flatnonzero(~up)
+                down_recv = self._plane_recv_cols[down_slots]
+
         new_state = np.array(state)
         tile = self.plane_tile_rows(batch)
         for start in range(0, batch, tile):
@@ -341,6 +394,14 @@ class SparseEngine(VectorizedEngine):
                 state[start:stop],
                 None if channel_values is None else channel_values[start:stop],
                 new_state[start:stop],
+                down_slots=down_slots,
+                down_recv=down_recv,
+            )
+
+        if activity is not None and activity.awake is not None:
+            ff = self._ff_cols
+            new_state[:, ff] = np.where(
+                activity.awake[ff][None, :], new_state[:, ff], state[:, ff]
             )
 
         if self._faulty_cols.size:
@@ -362,16 +423,26 @@ class SparseEngine(VectorizedEngine):
         state_tile: np.ndarray,
         channel_tile: np.ndarray | None,
         out_tile: np.ndarray,
+        down_slots: np.ndarray | None = None,
+        down_recv: np.ndarray | None = None,
     ) -> None:
         """Run the sparse kernel on one row tile, writing fault-free columns
         of ``out_tile`` in place (``out_tile`` is a view of the round's new
         state matrix).
+
+        ``down_slots``/``down_recv`` describe this round's masked plane
+        slots: each down slot is overwritten with its receiver's own
+        previous value (self-substitution), after the adversary scatter so
+        down faulty channels are substituted too — the same order the dense
+        kernel applies.
         """
         f = self._rule.f
         clamp32 = self._dtype == np.dtype(np.float32)
         plane = state_tile[:, self._plane_indices]
         if channel_tile is not None and self._edge_plane_pos.size:
             plane[:, self._edge_plane_pos] = channel_tile
+        if down_slots is not None:
+            plane[:, down_slots] = state_tile[:, down_recv]
         rows = state_tile.shape[0]
         for bucket in self._buckets:
             d = bucket.degree
@@ -411,6 +482,7 @@ def sparse_cross_check_engines(
     adversary: BatchStrategy | ByzantineStrategy | None = None,
     config: SimulationConfig | None = None,
     rounds: int | None = None,
+    schedule: TopologySchedule | None = None,
 ) -> EquivalenceReport:
     """Run the dense and sparse engines round-for-round and compare states.
 
@@ -430,6 +502,7 @@ def sparse_cross_check_engines(
         faulty=faulty,
         adversary=copy.deepcopy(adversary) if adversary is not None else None,
         config=chosen_config,
+        schedule=copy.deepcopy(schedule) if schedule is not None else None,
     )
     sparse = SparseEngine(
         graph=graph,
@@ -437,6 +510,7 @@ def sparse_cross_check_engines(
         faulty=faulty,
         adversary=copy.deepcopy(adversary) if adversary is not None else None,
         config=chosen_config,
+        schedule=copy.deepcopy(schedule) if schedule is not None else None,
     )
 
     dense_state = dense.pack_inputs(inputs)
@@ -472,6 +546,7 @@ def run_sparse(
     max_plane_bytes: int | None = None,
     cross_check: bool = False,
     cross_check_rounds: int = 25,
+    schedule: TopologySchedule | None = None,
 ) -> ConsensusOutcome:
     """Functional wrapper around :class:`SparseEngine`, mirroring
     :func:`~repro.simulation.vectorized.run_vectorized`.
@@ -499,6 +574,7 @@ def run_sparse(
             adversary=adversary,
             config=config,
             rounds=min(cross_check_rounds, max_rounds),
+            schedule=schedule,
         )
         if not report.identical:
             raise SimulationError(
@@ -513,6 +589,7 @@ def run_sparse(
         faulty=faulty,
         adversary=adversary,
         config=config,
+        schedule=schedule,
         dtype=dtype,
         max_plane_bytes=max_plane_bytes,
     )

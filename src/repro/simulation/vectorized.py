@@ -46,6 +46,12 @@ from repro.exceptions import (
     ValidityViolationError,
 )
 from repro.graphs.digraph import Digraph
+from repro.simulation.dynamic import (
+    RoundActivity,
+    ScheduleLayout,
+    TopologySchedule,
+    resolve_activity,
+)
 from repro.simulation.engine import SimulationConfig, SynchronousEngine
 from repro.simulation.metrics import VALIDITY_TOLERANCE, ValidityTracker
 from repro.simulation.trace import ExecutionTrace
@@ -171,12 +177,14 @@ class VectorizedEngine:
         faulty: frozenset[NodeId] | set[NodeId] = frozenset(),
         adversary: BatchStrategy | ByzantineStrategy | None = None,
         config: SimulationConfig | None = None,
+        schedule: TopologySchedule | None = None,
     ) -> None:
         self._graph = graph
         self._rule = rule
         self._faulty = frozenset(faulty)
         self._adversary = as_batch_strategy(adversary)
         self._config = config if config is not None else SimulationConfig()
+        self._schedule = schedule
 
         if isinstance(rule, TrimmedMeanRule):
             self._mode = "mean"
@@ -202,6 +210,8 @@ class VectorizedEngine:
         rule.validate_graph(graph, nodes=sorted(fault_free, key=repr))
 
         self._build_index_arrays()
+        if schedule is not None:
+            self._build_schedule_arrays()
 
     def _build_node_columns(self) -> None:
         """Set up the canonical node → column maps shared by every engine.
@@ -283,6 +293,55 @@ class VectorizedEngine:
             [self._column[t] for _s, t in edge_nodes], dtype=int
         )
 
+    def _build_schedule_arrays(self) -> None:
+        """Precompute translations from schedule masks to kernel indices.
+
+        Schedule masks are expressed over the canonical sender-major edge
+        order (:class:`~repro.simulation.dynamic.ScheduleLayout`); the dense
+        kernel works in degree groups and in the receiver-major faulty
+        channel order.  These index arrays translate a ``(E,)`` edge mask
+        into per-group ``(n_g, d)`` slot masks and a ``(E_f,)`` channel mask
+        once, so per-round masking stays pure fancy indexing.
+        """
+        layout = ScheduleLayout.for_graph(self._graph)
+        self._sched_layout = layout
+        self._chan_edge_pos = np.array(
+            [layout.edge_index[edge] for edge in self._edge_nodes], dtype=int
+        )
+        group_edge_pos: list[np.ndarray] = []
+        for group in self._groups:
+            rows = []
+            for column in group.columns:
+                receiver = self._nodes[int(column)]
+                senders = sorted(self._graph.in_neighbors(receiver), key=repr)
+                rows.append(
+                    [layout.edge_index[(sender, receiver)] for sender in senders]
+                )
+            group_edge_pos.append(
+                np.array(rows, dtype=int).reshape(len(group.columns), group.degree)
+            )
+        self._group_edge_pos = group_edge_pos
+
+    def _round_activity(self, round_index: int) -> RoundActivity | None:
+        """Resolve the schedule's masks for one round (``None`` if static)."""
+        if self._schedule is None:
+            return None
+        activity = resolve_activity(
+            self._schedule, round_index, self._sched_layout
+        )
+        return None if activity.is_static else activity
+
+    def _channel_mask(self, activity: RoundActivity | None) -> np.ndarray | None:
+        """Return the ``(E_f,)`` up-mask over faulty channels, or ``None``."""
+        if activity is None:
+            return None
+        mask = np.ones(len(self._edge_nodes), dtype=bool)
+        if activity.edge_up is not None:
+            mask &= activity.edge_up[self._chan_edge_pos]
+        if activity.awake is not None:
+            mask &= activity.awake[self._edge_src_cols]
+        return mask
+
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------
@@ -315,6 +374,11 @@ class VectorizedEngine:
     def nodes(self) -> tuple[NodeId, ...]:
         """Column order of state matrices (nodes sorted by ``repr``)."""
         return self._nodes
+
+    @property
+    def schedule(self) -> TopologySchedule | None:
+        """The topology schedule, or ``None`` for a static run."""
+        return self._schedule
 
     # ------------------------------------------------------------------
     # Input packing
@@ -352,7 +416,10 @@ class VectorizedEngine:
         return np.array(rows, dtype=self._dtype)
 
     def _context(
-        self, state: np.ndarray, round_index: int
+        self,
+        state: np.ndarray,
+        round_index: int,
+        active_edge_mask: np.ndarray | None = None,
     ) -> BatchAdversaryContext:
         return BatchAdversaryContext(
             graph=self._graph,
@@ -366,6 +433,7 @@ class VectorizedEngine:
             edge_nodes=self._edge_nodes,
             edge_source_columns=self._edge_src_cols,
             edge_target_columns=self._edge_dst_cols,
+            active_edge_mask=active_edge_mask,
         )
 
     # ------------------------------------------------------------------
@@ -387,10 +455,18 @@ class VectorizedEngine:
         batch = state.shape[0]
         f = self._rule.f
 
+        # Masking is applied downstream of the adversary: the strategy is
+        # interrogated for every channel regardless of the round's masks (its
+        # RNG draws stay mask-independent), then down channels are
+        # overwritten with the receiver's own value like any other edge.
+        activity = self._round_activity(round_index)
+
         context = None
         channel_values = np.empty((batch, 0), dtype=float)
         if self._faulty_cols.size:
-            context = self._context(state, round_index)
+            context = self._context(
+                state, round_index, active_edge_mask=self._channel_mask(activity)
+            )
             channel_values = np.asarray(
                 self._adversary.edge_values(context), dtype=float
             )
@@ -402,12 +478,25 @@ class VectorizedEngine:
                 )
 
         new_state = np.array(state)
-        for group in self._groups:
+        for position, group in enumerate(self._groups):
             received = state[:, group.in_idx]
             if group.edge_index.size:
                 received[:, group.edge_rows, group.edge_slots] = channel_values[
                     :, group.edge_index
                 ]
+            if activity is not None:
+                up = np.ones(group.in_idx.shape, dtype=bool)
+                if activity.edge_up is not None:
+                    up &= activity.edge_up[self._group_edge_pos[position]]
+                if activity.awake is not None:
+                    up &= activity.awake[group.in_idx]
+                if not up.all():
+                    # Self-substitution: a dead slot carries the receiver's
+                    # own previous value, keeping the trim window width d.
+                    rows_i, slots_i = np.nonzero(~up)
+                    received[:, rows_i, slots_i] = state[
+                        :, group.columns[rows_i]
+                    ]
             received.sort(axis=-1)
             survivors = received[:, :, f : group.degree - f]
             own = state[:, group.columns]
@@ -419,6 +508,14 @@ class VectorizedEngine:
                 mins = np.minimum(own, survivors.min(axis=2, initial=np.inf))
                 maxs = np.maximum(own, survivors.max(axis=2, initial=-np.inf))
                 new_state[:, group.columns] = (mins + maxs) / 2.0
+
+        if activity is not None and activity.awake is not None:
+            # Asleep receivers skip their update (state frozen); their state
+            # stays visible on out-edges next round.
+            ff = self._ff_cols
+            new_state[:, ff] = np.where(
+                activity.awake[ff][None, :], new_state[:, ff], state[:, ff]
+            )
 
         if self._faulty_cols.size:
             assert context is not None
@@ -609,6 +706,7 @@ class BatchRunner:
         faulty: frozenset[NodeId] | set[NodeId] = frozenset(),
         adversary: BatchStrategy | ByzantineStrategy | None = None,
         config: SimulationConfig | None = None,
+        schedule: TopologySchedule | None = None,
     ) -> None:
         self._engine = VectorizedEngine(
             graph=graph,
@@ -616,6 +714,7 @@ class BatchRunner:
             faulty=faulty,
             adversary=adversary,
             config=config,
+            schedule=schedule,
         )
 
     @property
@@ -729,6 +828,7 @@ def cross_check_engines(
     adversary: ByzantineStrategy | None = None,
     config: SimulationConfig | None = None,
     rounds: int | None = None,
+    schedule: TopologySchedule | None = None,
 ) -> EquivalenceReport:
     """Run both engines round-for-round and compare every node's state.
 
@@ -737,8 +837,9 @@ def cross_check_engines(
     state and consume draws independently), then the scalar
     :meth:`~repro.simulation.engine.SynchronousEngine.step` and the
     vectorized :meth:`VectorizedEngine.step_matrix` execute in lockstep from
-    the same inputs.  Intended for small instances — it pays the scalar
-    engine's cost.
+    the same inputs.  A ``schedule`` is applied to both engines (schedules
+    are pure functions of the round, so deep copies see identical masks).
+    Intended for small instances — it pays the scalar engine's cost.
     """
     if adversary is not None and not isinstance(adversary, ByzantineStrategy):
         raise InvalidParameterError(
@@ -754,6 +855,7 @@ def cross_check_engines(
         faulty=faulty,
         adversary=copy.deepcopy(adversary) if adversary is not None else None,
         config=chosen_config,
+        schedule=copy.deepcopy(schedule) if schedule is not None else None,
     )
     vector_engine = VectorizedEngine(
         graph=graph,
@@ -761,6 +863,7 @@ def cross_check_engines(
         faulty=faulty,
         adversary=copy.deepcopy(adversary) if adversary is not None else None,
         config=chosen_config,
+        schedule=copy.deepcopy(schedule) if schedule is not None else None,
     )
 
     missing = graph.nodes - inputs.keys()
@@ -795,6 +898,7 @@ def run_vectorized(
     stop_on_convergence: bool = True,
     cross_check: bool = False,
     cross_check_rounds: int = 25,
+    schedule: TopologySchedule | None = None,
 ) -> ConsensusOutcome:
     """Functional wrapper around :class:`VectorizedEngine`, mirroring
     :func:`~repro.simulation.engine.run_synchronous`.
@@ -824,6 +928,7 @@ def run_vectorized(
             adversary=adversary,
             config=config,
             rounds=min(cross_check_rounds, max_rounds),
+            schedule=schedule,
         )
         if not report.identical:
             raise SimulationError(
@@ -833,6 +938,11 @@ def run_vectorized(
             )
         adversary = copy.deepcopy(adversary) if adversary is not None else None
     engine = VectorizedEngine(
-        graph=graph, rule=rule, faulty=faulty, adversary=adversary, config=config
+        graph=graph,
+        rule=rule,
+        faulty=faulty,
+        adversary=adversary,
+        config=config,
+        schedule=schedule,
     )
     return engine.run(inputs)

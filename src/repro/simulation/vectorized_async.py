@@ -66,6 +66,7 @@ from repro.simulation.async_engine import (
     PartiallyAsynchronousEngine,
     canonical_edge_order,
 )
+from repro.simulation.dynamic import TopologySchedule
 from repro.simulation.engine import SimulationConfig
 from repro.simulation.metrics import VALIDITY_TOLERANCE, within_hull
 from repro.simulation.trace import ExecutionTrace
@@ -76,6 +77,12 @@ from repro.simulation.vectorized import (
     _divergence_report,
 )
 from repro.types import ConsensusOutcome, NodeId, ValueMap
+
+#: Delivery-round sentinel for messages on channels masked down by a
+#: topology schedule: the message is written into the ring (keeping slot
+#: bookkeeping uniform) but can never come due.  The slot is wholly
+#: overwritten after ``max_delay + 1`` rounds, so the sentinel never leaks.
+_NEVER = np.iinfo(np.int64).max
 
 
 def spawn_row_generators(
@@ -150,6 +157,17 @@ class VectorizedAsyncEngine(VectorizedEngine):
         the scalar engine.
     update_probability:
         Per-round activation probability of a fault-free node, in ``(0, 1]``.
+    schedule:
+        Optional :class:`~repro.simulation.dynamic.TopologySchedule`.  The
+        asynchronous tier composes masks with its delivery machinery: a
+        masked channel's message for the round is never delivered (the
+        receiver keeps its freshest previously delivered value) and receiver
+        sleep is ANDed into the activation mask.  Delay and activation draws
+        are still consumed for every edge and node, so the random streams
+        stay mask-independent and the scalar/vectorized pair bit-identical.
+        Note this intentionally differs from the synchronous tiers'
+        self-substitution semantics — with masks active, ``max_delay=0``
+        no longer degenerates to the synchronous engines.
     """
 
     def __init__(
@@ -161,6 +179,7 @@ class VectorizedAsyncEngine(VectorizedEngine):
         config: SimulationConfig | None = None,
         max_delay: int = 1,
         update_probability: float = 1.0,
+        schedule: TopologySchedule | None = None,
     ) -> None:
         if max_delay < 0:
             raise InvalidParameterError(f"max_delay must be >= 0, got {max_delay}")
@@ -169,7 +188,12 @@ class VectorizedAsyncEngine(VectorizedEngine):
                 f"update_probability must be in (0, 1], got {update_probability}"
             )
         super().__init__(
-            graph=graph, rule=rule, faulty=faulty, adversary=adversary, config=config
+            graph=graph,
+            rule=rule,
+            faulty=faulty,
+            adversary=adversary,
+            config=config,
+            schedule=schedule,
         )
         self._max_delay = int(max_delay)
         self._update_probability = float(update_probability)
@@ -228,6 +252,16 @@ class VectorizedAsyncEngine(VectorizedEngine):
             ]
             self._group_buffer_idx.append(
                 np.array(rows, dtype=int).reshape(len(group.columns), group.degree)
+            )
+
+        # Canonical-edge position of each buffer channel, for translating a
+        # schedule's (E,) edge mask onto the buffer axis.  Built here (not in
+        # _build_schedule_arrays) because the buffer order above does not
+        # exist yet while super().__init__ runs.
+        if self._schedule is not None:
+            self._buffer_edge_pos = np.array(
+                [self._sched_layout.edge_index[edge] for edge in buffer_edges],
+                dtype=int,
             )
 
     # ------------------------------------------------------------------
@@ -333,12 +367,21 @@ class VectorizedAsyncEngine(VectorizedEngine):
         batch = state.shape[0]
         f = self._rule.f
 
+        # Masks compose with the delivery machinery, not the reduce kernel:
+        # a masked channel's message is written but never comes due, and
+        # receiver sleep joins the activation mask below.  Draws (delays,
+        # activation coins) were made before any mask is consulted, so the
+        # random streams are mask-independent.
+        activity = self._round_activity(round_index)
+
         # 1. The values every channel carries this round: senders' states,
         #    with the adversary's channel values scattered over faulty edges.
         sent = np.array(state[:, self._buffer_src_cols])
         context = None
         if self._faulty_cols.size:
-            context = self._context(state, round_index)
+            context = self._context(
+                state, round_index, active_edge_mask=self._channel_mask(activity)
+            )
             channel_values = np.asarray(
                 self._adversary.edge_values(context), dtype=float
             )
@@ -366,6 +409,15 @@ class VectorizedAsyncEngine(VectorizedEngine):
             buffers.ring_deliveries[:, :, slot] = (
                 round_index + delays[:, self._buffer_rng_positions]
             )
+        if activity is not None:
+            up = np.ones(len(self._buffer_edges), dtype=bool)
+            if activity.edge_up is not None:
+                up &= activity.edge_up[self._buffer_edge_pos]
+            if activity.awake is not None:
+                up &= activity.awake[self._buffer_src_cols]
+            silent = np.flatnonzero(~up)
+            if silent.size:
+                buffers.ring_deliveries[:, silent, slot] = _NEVER
 
         # 3. Delivery sweep, oldest send round first, so the freshest send
         #    wins — the scalar engine's ``send_round >= stored_round`` rule.
@@ -402,7 +454,17 @@ class VectorizedAsyncEngine(VectorizedEngine):
                 new_state[:, group.columns] = (mins + maxs) / 2.0
 
         # 5. Sporadic activation: inactive nodes keep their previous state
-        #    (their buffers kept absorbing deliveries above).
+        #    (their buffers kept absorbing deliveries above).  Receiver sleep
+        #    from the schedule composes by AND — an asleep node skips its
+        #    update even if its activation coin came up.
+        if activity is not None and activity.awake is not None:
+            awake_ff = activity.awake[self._ff_cols]
+            if active_nodes is None:
+                active_nodes = np.broadcast_to(
+                    awake_ff[None, :], (batch, awake_ff.size)
+                )
+            else:
+                active_nodes = active_nodes & awake_ff[None, :]
         if active_nodes is not None:
             columns = self._ff_cols
             new_state[:, columns] = np.where(
@@ -596,6 +658,7 @@ def async_cross_check_engines(
     max_delay: int = 1,
     update_probability: float = 1.0,
     seed: int = 0,
+    schedule: TopologySchedule | None = None,
 ) -> EquivalenceReport:
     """Run both asynchronous engines from one seed and compare every round.
 
@@ -628,6 +691,7 @@ def async_cross_check_engines(
         max_delay=max_delay,
         update_probability=update_probability,
         rng=np.random.default_rng(seed),
+        schedule=copy.deepcopy(schedule) if schedule is not None else None,
     )
     vector_engine = VectorizedAsyncEngine(
         graph=graph,
@@ -637,6 +701,7 @@ def async_cross_check_engines(
         config=chosen_config,
         max_delay=max_delay,
         update_probability=update_probability,
+        schedule=copy.deepcopy(schedule) if schedule is not None else None,
     )
     scalar_outcome = scalar_engine.run(inputs)
     vector_outcome = vector_engine.run(inputs, rng=np.random.default_rng(seed))
@@ -671,6 +736,7 @@ def run_vectorized_async(
     tolerance: float = 1e-7,
     record_history: bool = True,
     rng: np.random.Generator | int | None = None,
+    schedule: TopologySchedule | None = None,
 ) -> ConsensusOutcome:
     """Functional wrapper around :class:`VectorizedAsyncEngine`, mirroring
     :func:`~repro.simulation.async_engine.run_partially_asynchronous`."""
@@ -687,5 +753,6 @@ def run_vectorized_async(
         config=config,
         max_delay=max_delay,
         update_probability=update_probability,
+        schedule=schedule,
     )
     return engine.run(inputs, rng=rng)

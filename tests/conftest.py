@@ -203,15 +203,24 @@ def make_batch_engine(
     config: SimulationConfig | None = None,
     dtype=np.float64,
     max_plane_bytes: int | None = None,
+    schedule=None,
 ):
     """Build a batch engine of the requested tier with one shared config.
 
     The sparse tier honours ``dtype`` / ``max_plane_bytes``; the dense and
-    async-degenerate tiers ignore them (they are float64-only).
+    async-degenerate tiers ignore them (they are float64-only).  Note that
+    under a schedule that actually masks something the async-degenerate tier
+    intentionally leaves the synchronous equality set (never-delivered
+    semantics instead of self-substitution).
     """
     if engine_kind == "dense":
         return VectorizedEngine(
-            graph, rule, faulty=faulty, adversary=adversary, config=config
+            graph,
+            rule,
+            faulty=faulty,
+            adversary=adversary,
+            config=config,
+            schedule=schedule,
         )
     if engine_kind == "sparse":
         return SparseEngine(
@@ -220,6 +229,7 @@ def make_batch_engine(
             faulty=faulty,
             adversary=adversary,
             config=config,
+            schedule=schedule,
             dtype=dtype,
             max_plane_bytes=max_plane_bytes,
         )
@@ -232,5 +242,6 @@ def make_batch_engine(
             config=config,
             max_delay=0,
             update_probability=1.0,
+            schedule=schedule,
         )
     raise AssertionError(engine_kind)

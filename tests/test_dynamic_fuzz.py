@@ -1,0 +1,278 @@
+"""Cross-engine property/fuzz harness for the dynamic-topology axis.
+
+Each case derives an entire *dynamic* scenario — graph family, fault set,
+rule, adversary, batch size, tile budget, round count, **and topology
+schedule** (periodic edge outages, seeded random edge up/down, periodic or
+random churn, or their AND-composition) — from a single integer seed, then:
+
+1. runs the same batch through the dense
+   :class:`~repro.simulation.vectorized.VectorizedEngine` and the CSR
+   :class:`~repro.simulation.sparse.SparseEngine` under deep copies of the
+   same schedule and requires every :class:`BatchOutcome` array to match
+   exactly (``np.array_equal``, never ``allclose``); and
+2. for scalar-expressible adversaries, replays one batch row through the
+   scalar :class:`~repro.simulation.engine.SynchronousEngine` in lockstep
+   with a fresh dense engine
+   (:func:`~repro.simulation.vectorized.cross_check_engines` with the
+   schedule) and requires the full trajectory to be bit-identical.
+
+The batch-native :class:`~repro.adversary.vectorized.BatchAdaptiveStrategy`
+(greedy and 1-lookahead) has no scalar counterpart, so its seeds exercise
+the dense/sparse pair only — it is deterministic, which is what makes it
+fuzzable at all.
+
+The first :data:`FAST_CASES` seeds run in the default suite; the remaining
+seeds up to :data:`TOTAL_CASES` carry the ``slow`` marker (excluded by
+``make test-fast``).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    BatchAdaptiveStrategy,
+    BatchExtremePushStrategy,
+    BatchFrozenValueStrategy,
+    BatchRandomNoiseStrategy,
+    BatchStaticValueStrategy,
+    ExtremePushStrategy,
+    StaticValueStrategy,
+)
+from repro.algorithms import TrimmedMeanRule, TrimmedMidpointRule
+from repro.graphs import (
+    complete_graph,
+    core_network,
+    k_in_regular_digraph,
+    random_core_like_network,
+    ring_lattice,
+)
+from repro.simulation import (
+    ComposedSchedule,
+    PeriodicChurnSchedule,
+    PeriodicEdgeSchedule,
+    RandomChurnSchedule,
+    RandomEdgeSchedule,
+    ScheduleLayout,
+    SimulationConfig,
+    SparseEngine,
+    StaticSchedule,
+    VectorizedEngine,
+    cross_check_engines,
+)
+from repro.simulation.vectorized import random_input_matrix
+
+#: Seeds run in the default (fast) suite.
+FAST_CASES = 30
+#: Total seeded cases; seeds >= FAST_CASES are marked ``slow``.
+TOTAL_CASES = 150
+
+FAMILIES = ("complete", "core", "core-like", "ring", "k-in-regular")
+
+#: Adversary kinds; the scalar-expressible ones additionally run the
+#: scalar-vs-dense lockstep check.
+STRATEGY_KINDS = (
+    "none",
+    "scalar-extreme",
+    "scalar-static",
+    "batch-static",
+    "batch-extreme",
+    "batch-frozen",
+    "batch-noise",
+    "adaptive-greedy",
+    "adaptive-lookahead",
+)
+SCALAR_EXPRESSIBLE = ("none", "scalar-extreme", "scalar-static")
+
+SCHEDULE_KINDS = (
+    "static",
+    "periodic-edges",
+    "periodic-churn",
+    "random-edges",
+    "random-churn",
+    "composed",
+)
+
+
+def _draw_graph(rng: np.random.Generator, f: int):
+    """Return a graph of a random family whose fault-free in-degrees satisfy
+    the trimmed rules' ``2f`` floor by construction."""
+    family = FAMILIES[int(rng.integers(len(FAMILIES)))]
+    if family == "complete":
+        n = int(rng.integers(3 * f + 2, 20))
+        return complete_graph(n)
+    if family == "core":
+        n = int(rng.integers(3 * f + 2, 32))
+        return core_network(n, f)
+    if family == "core-like":
+        n = int(rng.integers(3 * f + 2, 32))
+        probability = float(rng.uniform(0.05, 0.4))
+        return random_core_like_network(n, f, probability, rng=rng)
+    if family == "ring":
+        k = int(rng.integers(f, f + 4))
+        n = int(rng.integers(2 * k + 2, 40))
+        return ring_lattice(n, k)
+    degree = 2 * f + int(rng.integers(0, 6))
+    n = int(rng.integers(degree + 2, 40))
+    return k_in_regular_digraph(n, degree, rng=rng)
+
+
+def _draw_strategy(rng: np.random.Generator, seed: int):
+    """Return ``(scalar blueprint or None, batch blueprint)`` for one kind.
+
+    The scalar blueprint is ``None`` for batch-only kinds; for
+    scalar-expressible kinds both blueprints denote the same adversary, so
+    the lockstep check can hand the scalar form to
+    :func:`cross_check_engines` while the batch engines get the batch form.
+    """
+    kind = STRATEGY_KINDS[int(rng.integers(len(STRATEGY_KINDS)))]
+    if kind == "none":
+        return kind, None, None
+    if kind == "scalar-extreme":
+        strategy = ExtremePushStrategy(delta=float(rng.uniform(0.5, 5.0)))
+        return kind, strategy, strategy
+    if kind == "scalar-static":
+        strategy = StaticValueStrategy(float(rng.uniform(-10.0, 10.0)))
+        return kind, strategy, strategy
+    if kind == "batch-static":
+        return kind, None, BatchStaticValueStrategy(float(rng.uniform(-10.0, 10.0)))
+    if kind == "batch-extreme":
+        return kind, None, BatchExtremePushStrategy(float(rng.uniform(0.5, 5.0)))
+    if kind == "batch-frozen":
+        return kind, None, BatchFrozenValueStrategy()
+    if kind == "batch-noise":
+        return kind, None, BatchRandomNoiseStrategy(-5.0, 5.0, rng=seed)
+    mode = "greedy" if kind == "adaptive-greedy" else "lookahead"
+    rule_mode = "mean" if rng.random() < 0.7 else "midpoint"
+    return (
+        kind,
+        None,
+        BatchAdaptiveStrategy(
+            mode=mode, delta=float(rng.uniform(0.5, 3.0)), rule_mode=rule_mode
+        ),
+    )
+
+
+def _draw_schedule(rng: np.random.Generator, graph, seed: int):
+    """Return a fresh schedule of a random kind for ``graph``."""
+    kind = SCHEDULE_KINDS[int(rng.integers(len(SCHEDULE_KINDS)))]
+    if kind == "static":
+        return StaticSchedule()
+    if kind == "periodic-edges":
+        layout = ScheduleLayout.for_graph(graph)
+        stride = int(rng.integers(2, 6))
+        return PeriodicEdgeSchedule([layout.edges[::stride], ()])
+    if kind == "periodic-churn":
+        nodes = sorted(graph.nodes, key=repr)
+        victim = nodes[int(rng.integers(len(nodes)))]
+        return PeriodicChurnSchedule([[victim], (), ()])
+    if kind == "random-edges":
+        return RandomEdgeSchedule(p_up=float(rng.uniform(0.6, 1.0)), seed=seed)
+    if kind == "random-churn":
+        return RandomChurnSchedule(p_awake=float(rng.uniform(0.6, 1.0)), seed=seed)
+    return ComposedSchedule(
+        RandomEdgeSchedule(p_up=float(rng.uniform(0.7, 1.0)), seed=seed),
+        RandomChurnSchedule(p_awake=float(rng.uniform(0.7, 1.0)), seed=seed),
+    )
+
+
+def _fuzz_one(seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    f = int(rng.integers(1, 3))
+    graph = _draw_graph(rng, f)
+    nodes = sorted(graph.nodes, key=repr)
+    fault_count = int(rng.integers(0, f + 1))
+    faulty = frozenset(
+        int(c) for c in rng.choice(len(nodes), size=fault_count, replace=False)
+    )
+    rule_factory = TrimmedMeanRule if rng.random() < 0.7 else TrimmedMidpointRule
+    kind, scalar_adversary, batch_adversary = (
+        _draw_strategy(rng, seed) if faulty else ("none", None, None)
+    )
+    schedule = _draw_schedule(rng, graph, seed)
+    batch = int(rng.choice([1, 4, 16]))
+    rounds = int(rng.integers(4, 11))
+    max_plane_bytes = [None, 1 << 12, 1 << 16][int(rng.integers(3))]
+
+    config = SimulationConfig(
+        max_rounds=rounds,
+        tolerance=0.0,
+        record_history=True,
+        stop_on_convergence=False,
+    )
+    dense = VectorizedEngine(
+        graph,
+        rule_factory(f),
+        faulty=faulty,
+        adversary=copy.deepcopy(batch_adversary),
+        config=config,
+        schedule=copy.deepcopy(schedule),
+    )
+    sparse = SparseEngine(
+        graph,
+        rule_factory(f),
+        faulty=faulty,
+        adversary=copy.deepcopy(batch_adversary),
+        config=config,
+        schedule=copy.deepcopy(schedule),
+        max_plane_bytes=max_plane_bytes,
+    )
+
+    matrix = random_input_matrix(dense.nodes, batch, rng=rng)
+    dense_out = dense.run_batch(matrix.copy())
+    sparse_out = sparse.run_batch(matrix.copy())
+
+    label = (
+        f"seed={seed} n={len(nodes)} f={f} |F|={len(faulty)} B={batch} "
+        f"rounds={rounds} tile={max_plane_bytes} adversary={kind} "
+        f"schedule={schedule.name}"
+    )
+    assert np.array_equal(dense_out.final_states, sparse_out.final_states), label
+    assert np.array_equal(dense_out.converged, sparse_out.converged), label
+    assert np.array_equal(
+        dense_out.rounds_executed, sparse_out.rounds_executed
+    ), label
+    assert np.array_equal(
+        dense_out.initial_spread, sparse_out.initial_spread
+    ), label
+    assert np.array_equal(dense_out.final_spread, sparse_out.final_spread), label
+    assert np.array_equal(dense_out.validity_ok, sparse_out.validity_ok), label
+    assert np.array_equal(
+        dense_out.spread_history, sparse_out.spread_history
+    ), label
+
+    # Scalar lockstep: one batch row, scalar reference vs a fresh dense
+    # engine, full trajectory, same schedule.
+    if kind in SCALAR_EXPRESSIBLE:
+        row = int(rng.integers(batch))
+        report = cross_check_engines(
+            graph=graph,
+            rule=rule_factory(f),
+            inputs=dict(zip(dense.nodes, matrix[row].tolist())),
+            faulty=faulty,
+            adversary=copy.deepcopy(scalar_adversary),
+            config=config,
+            rounds=rounds,
+            schedule=copy.deepcopy(schedule),
+        )
+        assert report.identical, (
+            f"{label}: scalar/dense diverged at round "
+            f"{report.first_divergence_round} "
+            f"(max |diff| {report.max_abs_difference})"
+        )
+
+
+@pytest.mark.parametrize("seed", range(FAST_CASES))
+def test_dynamic_cross_engine_fuzz_fast(seed):
+    """Fast CI subset of the dynamic-topology differential sweep."""
+    _fuzz_one(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(FAST_CASES, TOTAL_CASES))
+def test_dynamic_cross_engine_fuzz_full(seed):
+    """The long tail of the dynamic-topology differential sweep."""
+    _fuzz_one(seed)

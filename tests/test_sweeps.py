@@ -20,16 +20,19 @@ from repro.sweeps.store import RunStore, numeric_columns
 
 #: The registered experiments every release must provide: the nine paper
 #: experiments plus the ``checker_scaling`` sweep over the bitset checker,
-#: the ``adversary_showdown`` sweep over the batch-native strategies, and
-#: the ``large_n`` sparse-engine scale sweep.
+#: the ``adversary_showdown`` sweep over the batch-native strategies, the
+#: ``large_n`` sparse-engine scale sweep, and the ``dynamic_topology`` /
+#: ``churn_sweep`` dynamic-axis sweeps.
 EXPECTED_EXPERIMENTS = {
     "ablation",
     "adversary_showdown",
     "asynchronous",
     "checker",
     "checker_scaling",
+    "churn_sweep",
     "convergence_rate",
     "corollaries",
+    "dynamic_topology",
     "families",
     "feasibility_at_scale",
     "large_n",
