@@ -1,7 +1,10 @@
 # Development entry points for the VaidyaTL12 reproduction.
 #
-#   make test        tier-1 test suite + docstring-coverage gate
+#   make test        tier-1 test suite
 #   make test-fast   test suite without the slow cross-engine parity sweeps
+#   make lint        determinism/contract linter (reprolint) + typed-API
+#                    gate (mypy, skipped with a notice when not installed;
+#                    CI installs it) + docstring-coverage gate
 #   make bench       synchronous engine benchmark -> BENCH_engine.json
 #   make bench-async asynchronous engine benchmark -> BENCH_async.json
 #   make bench-checker legacy-vs-bitset checker benchmark -> BENCH_checker.json
@@ -29,13 +32,14 @@
 #                    workers, then re-open it with `repro report`
 
 PYTHON ?= python
-export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH := src:tools$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 # The docstring gate covers the library, the sweeps/CLI layer and the
 # benchmark scripts; --require guards against a package silently leaving
 # the scan.
 DOCSTRING_GATE = $(PYTHON) tools/check_docstrings.py \
-	--root src/repro --root benchmarks \
+	--root src/repro --root benchmarks --root tools/reprolint \
+	--require reprolint.engine --require reprolint.pragmas \
 	--require repro.cli --require repro.sweeps.registry \
 	--require repro.sweeps.orchestrator --require repro.sweeps.store \
 	--require repro.conditions.bitset --require repro.conditions.verdict \
@@ -43,14 +47,26 @@ DOCSTRING_GATE = $(PYTHON) tools/check_docstrings.py \
 	--require repro.simulation.sparse \
 	--require repro.simulation.dynamic
 
-.PHONY: test test-fast bench bench-async bench-checker bench-checker-smoke bench-adversary bench-adversary-smoke bench-scale bench-scale-smoke bench-verdict bench-verdict-smoke bench-dynamic bench-dynamic-smoke docs-check sweep-smoke
+.PHONY: test test-fast lint bench bench-async bench-checker bench-checker-smoke bench-adversary bench-adversary-smoke bench-scale bench-scale-smoke bench-verdict bench-verdict-smoke bench-dynamic bench-dynamic-smoke docs-check sweep-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
-	$(DOCSTRING_GATE)
 
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# The unified lint gate: the contract linter (zero findings, zero
+# unexplained suppressions), the typed-API gate, and the docstring gate
+# (folded in here so `make test` stays fast).  mypy is optional locally;
+# CI installs it so the typed-API gate always runs there.
+lint:
+	$(PYTHON) -m reprolint src/repro
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		echo "mypy typed-API gate (mypy.ini)"; \
+		$(PYTHON) -m mypy --config-file mypy.ini; \
+	else \
+		echo "mypy not installed; typed-API gate skipped (CI installs mypy)"; \
+	fi
 	$(DOCSTRING_GATE)
 
 bench:
@@ -98,6 +114,7 @@ docs-check:
 	@test -f docs/performance.md || { echo "docs/performance.md missing"; exit 1; }
 	@test -f docs/cli.md || { echo "docs/cli.md missing"; exit 1; }
 	@test -f docs/experiments.md || { echo "docs/experiments.md missing"; exit 1; }
+	@test -f docs/contracts.md || { echo "docs/contracts.md missing"; exit 1; }
 	$(DOCSTRING_GATE)
 	@echo "docs OK"
 

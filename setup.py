@@ -18,6 +18,9 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # PEP 561: ship the py.typed marker so downstream type checkers consume
+    # the package's inline annotations (gated by mypy.ini + reprolint TYP001).
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy"],
     entry_points={"console_scripts": ["repro=repro.cli:main"]},

@@ -187,11 +187,17 @@ def split_brain_stall_study(
         ),
     )
     base = strategy.recommended_inputs()
-    rng = np.random.default_rng(seed)
+    # RNG-stream contract: one spawned stream per batch row, draws in
+    # canonical repr-sorted node order (set iteration is hash-ordered and
+    # was caught by reprolint ORD001), so row k's inputs are independent
+    # of the batch size and of every other row.
+    drawn_nodes = sorted(witness.center | witness.faulty, key=repr)
+    row_streams = np.random.SeedSequence(seed).spawn(batch)
     inputs = []
-    for _ in range(batch):
+    for row_stream in row_streams:
+        rng = np.random.default_rng(row_stream)
         row = dict(base)
-        for node in witness.center | witness.faulty:
+        for node in drawn_nodes:
             row[node] = float(rng.uniform(low_value, high_value))
         inputs.append(row)
     outcome = runner.run(inputs)

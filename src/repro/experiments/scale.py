@@ -68,10 +68,17 @@ def large_n_study(
         raise InvalidParameterError(
             f"dtype must be one of {SCALE_DTYPES}, got {dtype!r}"
         )
-    rng = np.random.default_rng(seed)
+    # RNG-stream contract: one child stream per stage (graph build, fault
+    # selection, input matrix), spawned from the cell seed, so a change in
+    # how many draws one stage consumes can never shift another stage's.
+    graph_stream, fault_stream, input_stream = np.random.SeedSequence(
+        seed
+    ).spawn(3)
     build_start = time.perf_counter()
-    graph = heterogeneous_ring_lattice(n, f, extra_mean=extra_mean, rng=rng)
-    faulty = random_fault_set(graph, f, rng=rng)
+    graph = heterogeneous_ring_lattice(
+        n, f, extra_mean=extra_mean, rng=np.random.default_rng(graph_stream)
+    )
+    faulty = random_fault_set(graph, f, rng=np.random.default_rng(fault_stream))
     engine = SparseEngine(
         graph,
         TrimmedMeanRule(f),
@@ -88,7 +95,9 @@ def large_n_study(
     )
     build_seconds = time.perf_counter() - build_start
 
-    matrix = random_input_matrix(engine.nodes, batch, rng=rng)
+    matrix = random_input_matrix(
+        engine.nodes, batch, rng=np.random.default_rng(input_stream)
+    )
     run_start = time.perf_counter()
     outcome = engine.run_batch(matrix)
     run_seconds = time.perf_counter() - run_start

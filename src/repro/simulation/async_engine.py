@@ -259,8 +259,13 @@ class PartiallyAsynchronousEngine:
                         f"{sorted(missing_targets, key=repr)!r} out of faulty "
                         f"node {node!r}"
                     )
+                # Canonical insertion order for the normalised copy;
+                # consumers index by key, so sorting is behaviour-neutral.
                 faulty_messages[node] = {
-                    target: float(value) for target, value in outgoing.items()
+                    target: float(value)
+                    for target, value in sorted(
+                        outgoing.items(), key=lambda item: repr(item[0])
+                    )
                 }
 
             # 2. Every node emits its messages for this round; delays come
@@ -333,6 +338,7 @@ class PartiallyAsynchronousEngine:
 
             low, high = fault_free_extremes(state, self._faulty)
             fault_free_values = [
+                # reprolint: disable=ORD002 -- hull containment is order-free
                 value for node, value in state.items() if node not in self._faulty
             ]
             if not within_hull(fault_free_values, hull_min, hull_max):

@@ -340,7 +340,9 @@ class RandomEdgeSchedule(TopologySchedule):
         stream_key: int = EDGE_STREAM_KEY,
     ) -> None:
         if isinstance(p_up, Mapping):
-            for edge, probability in p_up.items():
+            for edge, probability in sorted(
+                p_up.items(), key=lambda item: repr(item[0])
+            ):
                 _check_probability(probability, f"p_up[{edge!r}]")
             _check_probability(default_p_up, "default_p_up")
         else:
@@ -401,7 +403,9 @@ class RandomChurnSchedule(TopologySchedule):
         stream_key: int = CHURN_STREAM_KEY,
     ) -> None:
         if isinstance(p_awake, Mapping):
-            for node, probability in p_awake.items():
+            for node, probability in sorted(
+                p_awake.items(), key=lambda item: repr(item[0])
+            ):
                 _check_probability(probability, f"p_awake[{node!r}]")
             _check_probability(default_p_awake, "default_p_awake")
         else:

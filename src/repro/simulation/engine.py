@@ -226,8 +226,13 @@ class SynchronousEngine:
                     f"values for edges {sorted(missing, key=repr)!r} out of faulty "
                     f"node {node!r}; the synchronous model has no omissions"
                 )
+            # Canonical insertion order for the normalised copy; consumers
+            # index by key, so sorting here is behaviour-neutral.
             faulty_messages[node] = {
-                target: float(value) for target, value in outgoing.items()
+                target: float(value)
+                for target, value in sorted(
+                    outgoing.items(), key=lambda item: repr(item[0])
+                )
             }
 
         new_state: dict[NodeId, float] = {}

@@ -29,6 +29,7 @@ def fault_free_extremes(
     values: Mapping[NodeId, float], faulty: frozenset[NodeId]
 ) -> tuple[float, float]:
     """Return ``(µ[t], U[t])`` — the min and max state over fault-free nodes."""
+    # reprolint: disable=ORD002 -- min/max are order-free; no need to sort this once-per-round hot path
     fault_free = [value for node, value in values.items() if node not in faulty]
     if not fault_free:
         raise InvalidParameterError(

@@ -79,6 +79,7 @@ from repro.types import ConsensusOutcome, NodeId, ValueMap
 #: State dtypes the sparse engine accepts.  float64 is the bit-exact default;
 #: float32 trades bit-parity for half the plane memory under the documented
 #: tolerance contract (hull invariants still hold exactly).
+# reprolint: disable=EXA003 -- this IS the documented dtype= plumbing (docs/architecture.md, float32 tier)
 SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
@@ -437,6 +438,7 @@ class SparseEngine(VectorizedEngine):
         kernel applies.
         """
         f = self._rule.f
+        # reprolint: disable=EXA003 -- float32 clamp gate of the documented dtype= plumbing
         clamp32 = self._dtype == np.dtype(np.float32)
         plane = state_tile[:, self._plane_indices]
         if channel_tile is not None and self._edge_plane_pos.size:

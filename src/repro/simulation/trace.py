@@ -87,7 +87,9 @@ class ExecutionTrace:
         record = self.records[round_index]
         return {
             node: value
-            for node, value in record.values.items()
+            for node, value in sorted(
+                record.values.items(), key=lambda item: repr(item[0])
+            )
             if node not in self.faulty
         }
 

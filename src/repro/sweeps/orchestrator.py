@@ -21,7 +21,6 @@ are skipped on resume.
 
 from __future__ import annotations
 
-import datetime as _datetime
 import multiprocessing
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,7 +30,11 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.sweeps.grid import apply_overrides, expand_grid, grid_fingerprint
-from repro.sweeps.provenance import RUN_SCHEMA_VERSION, machine_provenance
+from repro.sweeps.provenance import (
+    RUN_SCHEMA_VERSION,
+    machine_provenance,
+    utc_now_iso,
+)
 from repro.sweeps.registry import ExperimentSpec, get_experiment
 from repro.sweeps.store import RunStore
 
@@ -187,11 +190,6 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _utc_now() -> str:
-    """Current UTC time as an ISO-8601 string."""
-    return _datetime.datetime.now(_datetime.timezone.utc).isoformat(timespec="seconds")
-
-
 def _build_manifest(
     spec: ExperimentSpec, plan: SweepPlan, status: str, completed: Iterable[int]
 ) -> dict[str, object]:
@@ -213,7 +211,7 @@ def _build_manifest(
         "shards": [list(shard) for shard in plan.shards],
         "completed_shards": sorted(completed),
         "status": status,
-        "updated_at": _utc_now(),
+        "updated_at": utc_now_iso(),
         "provenance": machine_provenance(),
     }
 

@@ -9,12 +9,26 @@ share :func:`bench_payload` so both files follow one schema — documented in
 
 from __future__ import annotations
 
+import datetime
 import platform
 import subprocess
 from pathlib import Path
 from typing import Mapping
 
 import numpy as np
+
+
+def utc_now_iso() -> str:
+    """Current UTC wall-clock time as an ISO-8601 string.
+
+    The clock-hygiene contract (reprolint ``CLK001``) confines wall-clock
+    reads to this module: manifests and benchmark payloads stamp their
+    metadata through this helper, and nothing on a simulation path may call
+    it — a timestamp there would be an input the seed does not control.
+    """
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
 
 #: Schema version of the unified ``BENCH_*.json`` layout.
 BENCH_SCHEMA_VERSION = 2

@@ -1,0 +1,46 @@
+"""reprolint — the determinism & contract static-analysis suite.
+
+The repository's engine tiers are bit-exact and reproducible only because of
+contracts that no type system expresses: per-row RNG streams spawned from one
+``SeedSequence``, canonical repr-sorted iteration on every path that feeds a
+draw or a float reduction, strictly sequential summation in the kernels, and
+wall-clock/entropy calls confined to the provenance layer.  ``reprolint``
+encodes those contracts as AST rules (see :mod:`reprolint.rules_rng`,
+:mod:`reprolint.rules_order`, :mod:`reprolint.rules_exact`,
+:mod:`reprolint.rules_api`) and runs them over ``src/repro``:
+
+    PYTHONPATH=src:tools python -m reprolint src/repro
+
+Suppressions use ``# reprolint: disable=RULE -- reason`` pragmas and every
+suppression must carry a reason (the *zero unexplained suppressions* budget);
+see :mod:`reprolint.pragmas`.  The suite is ``--fix``-free by design: each
+contract violation needs a human decision (re-order, re-derive the stream,
+or document why the site is exempt), and an auto-rewriter would hide exactly
+the reasoning the pragma reason field exists to capture.
+
+The narrative companion is ``docs/contracts.md``, which maps every rule ID
+to the contract it enforces.
+"""
+
+from __future__ import annotations
+
+from reprolint.engine import (
+    Finding,
+    LintReport,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "__version__",
+]

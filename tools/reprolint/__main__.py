@@ -1,0 +1,135 @@
+"""Command-line driver: ``PYTHONPATH=src:tools python -m reprolint``.
+
+Exit codes: 0 clean, 1 findings (including any ``SUP001`` past the
+``--budget-unexplained`` allowance, which defaults to zero), 2 usage error.
+There is deliberately no ``--fix``: every violation is either a real
+contract break (fix the code) or a documented exemption (write the pragma
+reason) — see the package docstring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from reprolint.engine import LintReport, all_rules, lint_paths
+from reprolint.pragmas import UNEXPLAINED_SUPPRESSION
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (shared with the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Determinism & contract static analysis for the VaidyaTL12 "
+            "reproduction (rules documented in docs/contracts.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--budget-unexplained",
+        type=int,
+        default=0,
+        metavar="N",
+        help="allowed number of unexplained suppressions (default: 0)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule ID with its summary and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    """Parse a comma-separated rule-ID list option."""
+    if raw is None:
+        return None
+    return [token.strip() for token in raw.split(",") if token.strip()]
+
+
+def _print_text(report: LintReport, budget: int) -> None:
+    """Human-readable report."""
+    for finding in report.findings:
+        print(finding.format())
+    kept = len(report.findings)
+    print(
+        f"reprolint: {report.files_scanned} file(s) scanned, "
+        f"{kept} finding(s), {len(report.suppressed)} suppressed, "
+        f"{report.unexplained_suppressions} unexplained suppression(s) "
+        f"(budget {budget})"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule_cls in all_rules().items():
+            print(f"{rule_id}  {rule_cls.summary}")
+        return 0
+
+    try:
+        report = lint_paths(
+            args.paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except (ValueError, OSError) as error:
+        print(f"reprolint: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.budget_unexplained > 0:
+        # Inside the budget, unexplained-suppression findings are waived
+        # (oldest first, by position); the rest still fail the run.
+        waived = 0
+        kept = []
+        for finding in report.findings:
+            if (
+                finding.rule == UNEXPLAINED_SUPPRESSION
+                and waived < args.budget_unexplained
+            ):
+                waived += 1
+                continue
+            kept.append(finding)
+        report = LintReport(
+            findings=kept,
+            suppressed=report.suppressed,
+            files_scanned=report.files_scanned,
+            unexplained_suppressions=report.unexplained_suppressions,
+        )
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        _print_text(report, args.budget_unexplained)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,396 @@
+"""Core of the reprolint framework: findings, rules, registry, and driver.
+
+One :class:`ParsedModule` is built per file (AST, source lines, parent map,
+and the path-derived *module classes* the rules scope themselves by).  The
+engine performs a single ``ast.walk`` per module and dispatches each node to
+every registered rule that declared interest in its type (the *visitor
+registry*), then gives each rule a ``finish`` callback for module-level
+checks.  Suppression pragmas are applied afterwards by
+:mod:`reprolint.pragmas`, so rules never need to know about them.
+
+Module classes
+--------------
+Rules scope themselves by where a file lives, mirroring the architecture:
+
+* ``canonical`` — ``repro/simulation/``, ``repro/adversary/``,
+  ``repro/conditions/``: every iteration order here can feed an RNG draw or
+  a sequential float reduction, so hash-order iteration is forbidden.
+* ``kernel`` — ``repro/simulation/`` and ``repro/algorithms/``: the numeric
+  kernels whose bit-exactness contract bans ``reduceat``/``fsum`` and
+  undocumented dtype narrowing.
+* ``experiments`` — ``repro/experiments/``: registry completeness applies.
+* ``clock_exempt`` — ``repro/sweeps/provenance.py``: the one module allowed
+  to read wall clocks and machine entropy.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, Sequence, Type
+
+#: Path fragments (POSIX form) that place a module on a canonical path.
+CANONICAL_FRAGMENTS = (
+    "repro/simulation/",
+    "repro/adversary/",
+    "repro/conditions/",
+)
+
+#: Path fragments of the bit-exact numeric kernels.
+KERNEL_FRAGMENTS = (
+    "repro/simulation/",
+    "repro/algorithms/",
+)
+
+#: Path fragment of the experiments package (registry-completeness scope).
+EXPERIMENTS_FRAGMENT = "repro/experiments/"
+
+#: The single module allowed to touch wall clocks and OS entropy.
+CLOCK_EXEMPT_SUFFIXES = ("repro/sweeps/provenance.py",)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """Render the finding in the classic ``path:line:col: ID message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the JSON-serialisable form of the finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ParsedModule:
+    """A parsed source file plus everything the rules need to scope checks."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+        if not self.parents:
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self.parents[child] = parent
+
+    @property
+    def posix_path(self) -> str:
+        """The path with forward slashes, the form the class checks match on."""
+        return self.path.replace("\\", "/")
+
+    @property
+    def is_canonical(self) -> bool:
+        """Whether the module sits on a canonical (order-sensitive) path."""
+        return any(frag in self.posix_path for frag in CANONICAL_FRAGMENTS)
+
+    @property
+    def is_kernel(self) -> bool:
+        """Whether the module is a bit-exact numeric kernel."""
+        return any(frag in self.posix_path for frag in KERNEL_FRAGMENTS)
+
+    @property
+    def is_experiments(self) -> bool:
+        """Whether the module belongs to the experiments package."""
+        return EXPERIMENTS_FRAGMENT in self.posix_path
+
+    @property
+    def is_clock_exempt(self) -> bool:
+        """Whether the module may read wall clocks / entropy (provenance)."""
+        return self.posix_path.endswith(CLOCK_EXEMPT_SUFFIXES)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """Return the syntactic parent of ``node`` (``None`` for the module)."""
+        return self.parents.get(node)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`summary` and :attr:`node_types`,
+    implement :meth:`visit` for each matching node, and may override
+    :meth:`finish` for whole-module checks.  ``visit``/``finish`` yield
+    :class:`Finding` objects; the engine owns traversal, so a rule never
+    walks the tree itself.
+    """
+
+    #: Unique rule identifier, e.g. ``"RNG001"``.
+    rule_id: str = ""
+    #: One-line description shown by ``--list-rules`` and the docs.
+    summary: str = ""
+    #: AST node classes the rule wants to see (empty: ``finish`` only).
+    node_types: tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        """Whether the rule runs on this module at all (default: always)."""
+        return True
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        """Yield findings for one node of a registered type."""
+        return iter(())
+
+    def finish(self, module: ParsedModule) -> Iterator[Finding]:
+        """Yield module-level findings after the walk completes."""
+        return iter(())
+
+    def finding(
+        self, module: ParsedModule, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_RULE_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry (unique IDs)."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, Type[Rule]]:
+    """Return every registered rule class keyed by rule ID, sorted."""
+    _load_rule_modules()
+    return dict(sorted(_RULE_REGISTRY.items()))
+
+
+_RULES_LOADED = False
+
+
+def _load_rule_modules() -> None:
+    """Import the rule modules once so their ``@register_rule`` decorators run."""
+    global _RULES_LOADED
+    if _RULES_LOADED:
+        return
+    # Imported here (not at module top) to avoid a cycle: the rule modules
+    # import Rule/register_rule from this module.
+    import reprolint.rules_api  # noqa: F401
+    import reprolint.rules_exact  # noqa: F401
+    import reprolint.rules_order  # noqa: F401
+    import reprolint.rules_rng  # noqa: F401
+
+    _RULES_LOADED = True
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: kept findings plus suppression accounting."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files_scanned: int
+    unexplained_suppressions: int
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any finding survived suppression."""
+        return 1 if self.findings else 0
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the JSON document ``--format json`` prints."""
+        return {
+            "tool": "reprolint",
+            "files_scanned": self.files_scanned,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "unexplained_suppressions": self.unexplained_suppressions,
+        }
+
+
+def _instantiate_rules(
+    select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> list[Rule]:
+    """Build rule instances honouring ``--select`` / ``--ignore``."""
+    registry = all_rules()
+    unknown = [
+        rule_id
+        for rule_id in list(select or []) + list(ignore or [])
+        if rule_id not in registry
+    ]
+    if unknown:
+        known = ", ".join(registry)
+        raise ValueError(f"unknown rule id(s) {unknown!r}; known: {known}")
+    chosen = list(select) if select else list(registry)
+    if ignore:
+        chosen = [rule_id for rule_id in chosen if rule_id not in set(ignore)]
+    return [registry[rule_id]() for rule_id in chosen]
+
+
+def _run_rules(module: ParsedModule, rules: Iterable[Rule]) -> list[Finding]:
+    """Single-walk visitor dispatch over one module."""
+    active = [rule for rule in rules if rule.applies_to(module)]
+    findings: list[Finding] = []
+    dispatch: dict[Type[ast.AST], list[Rule]] = {}
+    for rule in active:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    if dispatch:
+        for node in ast.walk(module.tree):
+            for rule in dispatch.get(type(node), ()):
+                findings.extend(rule.visit(node, module))
+    for rule in active:
+        findings.extend(rule.finish(module))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "src/repro/module.py",
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintReport:
+    """Lint one in-memory source blob (the test-fixture entry point).
+
+    ``path`` determines the module classes (canonical/kernel/experiments/
+    clock-exempt), so fixtures can exercise the scoped rules by faking a
+    location.
+    """
+    return _lint_modules([(path, source)], select=select, ignore=ignore)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintReport:
+    """Lint files and directory trees (``.py`` files, recursively)."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise ValueError(f"not a Python file or directory: {path}")
+    sources = [(str(path), path.read_text(encoding="utf-8")) for path in files]
+    return _lint_modules(sources, select=select, ignore=ignore)
+
+
+def _lint_modules(
+    sources: Sequence[tuple[str, str]],
+    select: Sequence[str] | None,
+    ignore: Sequence[str] | None,
+) -> LintReport:
+    """Shared driver: parse, run rules, then apply pragma suppressions."""
+    # Local import: pragmas imports Finding from this module.
+    from reprolint.pragmas import apply_pragmas
+
+    rules = _instantiate_rules(select, ignore)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    unexplained = 0
+    for path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            kept.append(
+                Finding(
+                    rule="PARSE",
+                    path=path,
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        module = ParsedModule(path=path, source=source, tree=tree)
+        raw = _run_rules(module, rules)
+        file_kept, file_suppressed, file_unexplained = apply_pragmas(
+            module, raw
+        )
+        kept.extend(file_kept)
+        suppressed.extend(file_suppressed)
+        unexplained += file_unexplained
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(
+        findings=kept,
+        suppressed=suppressed,
+        files_scanned=len(sources),
+        unexplained_suppressions=unexplained,
+    )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Return the dotted form of a ``Name``/``Attribute`` chain, else ``None``.
+
+    ``np.random.default_rng`` → ``"np.random.default_rng"``.  Chains that
+    pass through calls or subscripts yield ``None``: they are dynamic and no
+    rule matches on them.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+#: Callable signature of the per-node hooks, for documentation purposes.
+NodeHook = Callable[[ast.AST, ParsedModule], Iterator[Finding]]
+
+
+def iteration_sites(
+    node: ast.AST,
+) -> Iterator[ast.expr]:
+    """Yield the iterable expressions of a ``for`` or comprehension node.
+
+    The order rules only care about expressions in *iteration position* —
+    membership tests and plain construction are order-insensitive.
+    """
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.iter
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        for comp in node.generators:
+            yield comp.iter
+
+
+def unwrap_order_preserving(expr: ast.expr) -> ast.expr:
+    """Strip order-preserving wrappers (``list``/``tuple``/``enumerate``/
+    ``reversed``/``iter``) so ``for x in list(some_set)`` is still caught.
+
+    ``sorted(...)`` is deliberately *not* stripped: it is the sanctioned way
+    to establish canonical order, so anything inside it is fine.
+    """
+    while (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in {"list", "tuple", "enumerate", "reversed", "iter"}
+        and expr.args
+    ):
+        expr = expr.args[0]
+    return expr

@@ -1,0 +1,147 @@
+"""Suppression pragmas: ``# reprolint: disable=RULE[,RULE] -- reason``.
+
+A pragma suppresses the listed rules on its own physical line; a line that
+contains *only* the pragma comment suppresses the next line instead (for
+statements too long to carry a trailing comment).  Suppressions are part of
+the contract record, so each must explain itself: the text after ``--`` is
+the reason, and a pragma without one is itself reported as ``SUP001``
+(*unexplained suppression* — the budget for these is zero).  A pragma that
+suppresses nothing is reported as ``SUP002`` (*unused suppression*) so stale
+exemptions cannot linger after the code they excused is fixed.  Neither
+``SUP`` finding can be pragma-suppressed — the only way to silence them is
+to explain or delete the pragma.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from reprolint.engine import Finding, ParsedModule
+
+#: Pragma grammar.  ``disable=ALL`` suppresses every rule on the line.
+PRAGMA_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s*(?P<reason>.*\S))?\s*$"
+)
+
+#: Rule IDs synthesised by the pragma engine itself (never suppressible).
+UNEXPLAINED_SUPPRESSION = "SUP001"
+UNUSED_SUPPRESSION = "SUP002"
+
+
+@dataclass
+class Pragma:
+    """One parsed pragma comment and its suppression accounting."""
+
+    line: int
+    target_line: int
+    rules: frozenset[str]
+    reason: str | None
+    used: bool = field(default=False)
+
+    @property
+    def explained(self) -> bool:
+        """Whether the pragma carries a non-empty reason."""
+        return bool(self.reason)
+
+    def matches(self, rule_id: str) -> bool:
+        """Whether the pragma suppresses ``rule_id``."""
+        return "ALL" in self.rules or rule_id in self.rules
+
+
+def parse_pragmas(module: ParsedModule) -> list[Pragma]:
+    """Extract every pragma from the module's source lines.
+
+    Comment-only pragma lines target the next physical line; trailing
+    pragmas target their own line.
+    """
+    pragmas: list[Pragma] = []
+    for index, line in enumerate(module.lines, start=1):
+        match = PRAGMA_PATTERN.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            token.strip()
+            for token in match.group("rules").split(",")
+            if token.strip()
+        )
+        if not rules:
+            continue
+        comment_only = line.strip().startswith("#")
+        pragmas.append(
+            Pragma(
+                line=index,
+                target_line=index + 1 if comment_only else index,
+                rules=rules,
+                reason=match.group("reason"),
+            )
+        )
+    return pragmas
+
+
+def apply_pragmas(
+    module: ParsedModule, findings: list[Finding]
+) -> tuple[list[Finding], list[Finding], int]:
+    """Split ``findings`` into kept and suppressed; append SUP findings.
+
+    Returns ``(kept, suppressed, unexplained_count)`` where
+    ``unexplained_count`` is the number of ``SUP001`` findings added (the
+    zero-budget quantity the driver enforces).
+    """
+    pragmas = parse_pragmas(module)
+    by_line: dict[int, list[Pragma]] = {}
+    for pragma in pragmas:
+        by_line.setdefault(pragma.target_line, []).append(pragma)
+
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        match = next(
+            (
+                pragma
+                for pragma in by_line.get(finding.line, [])
+                if pragma.matches(finding.rule)
+            ),
+            None,
+        )
+        if match is None:
+            kept.append(finding)
+        else:
+            match.used = True
+            suppressed.append(finding)
+
+    unexplained = 0
+    for pragma in pragmas:
+        if pragma.used and not pragma.explained:
+            unexplained += 1
+            kept.append(
+                Finding(
+                    rule=UNEXPLAINED_SUPPRESSION,
+                    path=module.path,
+                    line=pragma.line,
+                    col=0,
+                    message=(
+                        "suppression without a reason; write "
+                        "'# reprolint: disable="
+                        + ",".join(sorted(pragma.rules))
+                        + " -- <why this site is exempt>'"
+                    ),
+                )
+            )
+        elif not pragma.used:
+            kept.append(
+                Finding(
+                    rule=UNUSED_SUPPRESSION,
+                    path=module.path,
+                    line=pragma.line,
+                    col=0,
+                    message=(
+                        "pragma suppresses nothing (rules "
+                        + ",".join(sorted(pragma.rules))
+                        + " raise no finding here); delete it"
+                    ),
+                )
+            )
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept, suppressed, unexplained

@@ -1,0 +1,124 @@
+"""Hash-order iteration rules (``ORD*``).
+
+On canonical paths every iteration order can feed an RNG draw or a
+sequential float reduction, so the contract is: *nothing iterates a set,
+and dict views are iterated only where insertion order is itself canonical*
+(each such site carries an explained pragma).  ``sorted(...)`` is the
+sanctioned escape — anything inside a ``sorted`` call is by definition in
+canonical order.  The repo's own history motivates the rule: PR 2 fixed
+per-message draws that iterated sets in hash order, and the necessity
+experiment drew per-node inputs over a set union until this linter flagged
+it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.engine import (
+    Finding,
+    ParsedModule,
+    Rule,
+    iteration_sites,
+    register_rule,
+    unwrap_order_preserving,
+)
+
+#: Set methods whose result is a freshly hashed set.
+SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+#: Dict-view methods (iteration order = insertion order, not canonical).
+DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+#: Binary set operators (``|``, ``&``, ``-``, ``^``) in iteration position.
+SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+_ITERATION_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _is_set_like(expr: ast.expr) -> bool:
+    """Whether an expression syntactically produces a set."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in SET_METHODS:
+            return True
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, SET_BINOPS):
+        return True
+    return False
+
+
+def _is_dict_view(expr: ast.expr) -> bool:
+    """Whether an expression is a no-arg ``.keys()/.values()/.items()`` call."""
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in DICT_VIEW_METHODS
+        and not expr.args
+        and not expr.keywords
+    )
+
+
+@register_rule
+class SetIteration(Rule):
+    """Iterating a set visits elements in hash order."""
+
+    rule_id = "ORD001"
+    summary = (
+        "iteration over a set-typed expression (hash order); wrap in "
+        "sorted(..., key=repr) for canonical order"
+    )
+    node_types = _ITERATION_NODES
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        for site in iteration_sites(node):
+            expr = unwrap_order_preserving(site)
+            if _is_set_like(expr):
+                yield self.finding(
+                    module,
+                    expr,
+                    "iteration over a set-typed expression visits elements "
+                    "in hash order; wrap in sorted(..., key=repr)",
+                )
+
+
+@register_rule
+class DictViewIteration(Rule):
+    """Dict views on canonical paths must prove their order is canonical."""
+
+    rule_id = "ORD002"
+    summary = (
+        "iteration over a dict view in a canonical-path module; sort it, or "
+        "pragma-document why insertion order is canonical here"
+    )
+    node_types = _ITERATION_NODES
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return module.is_canonical
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        for site in iteration_sites(node):
+            expr = unwrap_order_preserving(site)
+            if _is_dict_view(expr):
+                assert isinstance(expr, ast.Call)
+                assert isinstance(expr.func, ast.Attribute)
+                yield self.finding(
+                    module,
+                    expr,
+                    f".{expr.func.attr}() iterates in insertion order; on a "
+                    "canonical path either sorted(...)-wrap it or document "
+                    "with a pragma why insertion order is canonical",
+                )

@@ -1,0 +1,239 @@
+"""RNG-discipline and entropy/clock-hygiene rules (``RNG*``, ``CLK*``).
+
+The RNG-stream contract (PR 2, ``docs/architecture.md``): every stream in
+the library is derived from a caller-supplied seed, per-row streams come
+from ``SeedSequence.spawn``, and draws happen in canonical repr-sorted
+order.  These rules catch the statically visible ways of breaking it —
+OS-entropy seeding, the legacy global-state ``np.random`` API, stdlib
+``random``, and hard-coded seeds that silently correlate what should be
+independent streams.  Wall-clock reads are confined to the provenance
+module for the same reason: a timestamp inside a simulation path is an
+input the seed does not control.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.engine import (
+    Finding,
+    ParsedModule,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+#: Legacy global-state ``np.random`` functions (the pre-Generator API).
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "beta",
+        "binomial",
+        "poisson",
+        "exponential",
+        "gamma",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: Dotted-suffix matches for wall-clock / OS-entropy calls.
+CLOCK_ENTROPY_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+)
+
+
+def _is_default_rng(func: ast.expr) -> bool:
+    """Whether a call target is ``default_rng`` (bare or via ``np.random``)."""
+    name = dotted_name(func)
+    return name is not None and (
+        name == "default_rng" or name.endswith(".default_rng")
+    )
+
+
+def _is_seed_sequence(func: ast.expr) -> bool:
+    """Whether a call target is ``SeedSequence`` (bare or dotted)."""
+    name = dotted_name(func)
+    return name is not None and (
+        name == "SeedSequence" or name.endswith(".SeedSequence")
+    )
+
+
+@register_rule
+class ArglessDefaultRng(Rule):
+    """``np.random.default_rng()`` with no seed draws from OS entropy."""
+
+    rule_id = "RNG001"
+    summary = (
+        "argless default_rng() seeds from OS entropy; thread a seed or "
+        "Generator through the caller instead"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if _is_default_rng(node.func) and not node.args and not node.keywords:
+            yield self.finding(
+                module,
+                node,
+                "argless default_rng() is non-reproducible; accept a "
+                "seed/Generator parameter and pass it through",
+            )
+
+
+@register_rule
+class LegacyNpRandom(Rule):
+    """The module-level ``np.random.*`` API mutates hidden global state."""
+
+    rule_id = "RNG002"
+    summary = (
+        "legacy module-level np.random.* call (hidden global state); use a "
+        "Generator from default_rng(seed)"
+    )
+    node_types = (ast.Attribute,)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Attribute)
+        if node.attr not in LEGACY_NP_RANDOM:
+            return
+        base = dotted_name(node.value)
+        if base in {"np.random", "numpy.random"}:
+            yield self.finding(
+                module,
+                node,
+                f"np.random.{node.attr} uses the legacy global-state API; "
+                "use a Generator from default_rng(seed)",
+            )
+
+
+@register_rule
+class StdlibRandom(Rule):
+    """stdlib ``random`` is globally seeded and hash-order adjacent."""
+
+    rule_id = "RNG003"
+    summary = (
+        "stdlib random module imported; all library randomness must flow "
+        "through numpy Generators"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self.finding(
+                        module,
+                        node,
+                        "import of stdlib random; use numpy default_rng "
+                        "streams instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                yield self.finding(
+                    module,
+                    node,
+                    "import from stdlib random; use numpy default_rng "
+                    "streams instead",
+                )
+
+
+@register_rule
+class HardCodedSeed(Rule):
+    """Literal seeds in library code correlate streams that must be free."""
+
+    rule_id = "RNG004"
+    summary = (
+        "hard-coded integer seed in default_rng/SeedSequence; seeds must be "
+        "plumbed from the caller (per-row streams via SeedSequence.spawn)"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not (_is_default_rng(node.func) or _is_seed_sequence(node.func)):
+            return
+        first = node.args[0] if node.args else None
+        if first is None:
+            for keyword in node.keywords:
+                if keyword.arg in {"seed", "entropy"}:
+                    first = keyword.value
+                    break
+        if isinstance(first, ast.Constant) and isinstance(
+            first.value, int
+        ) and not isinstance(first.value, bool):
+            yield self.finding(
+                module,
+                node,
+                "hard-coded seed literal; accept the seed as a parameter so "
+                "callers control the stream (spawn per-row streams from one "
+                "SeedSequence)",
+            )
+
+
+@register_rule
+class ClockEntropyHygiene(Rule):
+    """Wall clocks and OS entropy belong to the provenance layer only."""
+
+    rule_id = "CLK001"
+    summary = (
+        "wall-clock/entropy call outside repro/sweeps/provenance.py "
+        "(time.time, datetime.now, os.urandom, uuid4, secrets)"
+    )
+    node_types = (ast.Call, ast.Import, ast.ImportFrom)
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return not module.is_clock_exempt
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                return
+            if name.split(".", 1)[0] == "secrets" or any(
+                name == suffix or name.endswith("." + suffix)
+                for suffix in CLOCK_ENTROPY_SUFFIXES
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() reads the wall clock or OS entropy; only "
+                    "repro/sweeps/provenance.py may (monotonic "
+                    "time.perf_counter is fine for durations)",
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "secrets":
+                    yield self.finding(
+                        module,
+                        node,
+                        "import of secrets outside the provenance module",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "secrets" and node.level == 0:
+                yield self.finding(
+                    module,
+                    node,
+                    "import from secrets outside the provenance module",
+                )
