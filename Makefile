@@ -2,7 +2,8 @@
 #
 #   make test        tier-1 test suite
 #   make test-fast   test suite without the slow cross-engine parity sweeps
-#   make lint        determinism/contract linter (reprolint) + typed-API
+#   make lint        determinism/contract linter (reprolint) + typing
+#                    ratchet (tools/check_typing_ratchet.py) + typed-API
 #                    gate (mypy, skipped with a notice when not installed;
 #                    CI installs it) + docstring-coverage gate
 #   make bench       synchronous engine benchmark -> BENCH_engine.json
@@ -42,6 +43,7 @@ DOCSTRING_GATE = $(PYTHON) tools/check_docstrings.py \
 	--require reprolint.engine --require reprolint.pragmas \
 	--require repro.cli --require repro.sweeps.registry \
 	--require repro.sweeps.orchestrator --require repro.sweeps.store \
+	--require repro.sweeps.schema \
 	--require repro.conditions.bitset --require repro.conditions.verdict \
 	--require repro.adversary.vectorized \
 	--require repro.simulation.sparse \
@@ -56,11 +58,14 @@ test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 
 # The unified lint gate: the contract linter (zero findings, zero
-# unexplained suppressions), the typed-API gate, and the docstring gate
-# (folded in here so `make test` stays fast).  mypy is optional locally;
-# CI installs it so the typed-API gate always runs there.
+# unexplained suppressions), the typing ratchet (no ignore_errors in
+# mypy.ini, strict-section count non-decreasing, strict packages fully
+# annotated — runs without mypy), the typed-API gate, and the docstring
+# gate (folded in here so `make test` stays fast).  mypy is optional
+# locally; CI installs it so the typed-API gate always runs there.
 lint:
 	$(PYTHON) -m reprolint src/repro
+	$(PYTHON) tools/check_typing_ratchet.py
 	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
 		echo "mypy typed-API gate (mypy.ini)"; \
 		$(PYTHON) -m mypy --config-file mypy.ini; \

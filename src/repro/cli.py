@@ -25,13 +25,14 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.exceptions import InvalidParameterError, ReproError
 from repro.experiments.reporting import format_table
 from repro.sweeps.orchestrator import DEFAULT_RESULTS_ROOT, run_sweep
 from repro.sweeps.registry import all_experiments
-from repro.sweeps.store import RunStore
+from repro.sweeps.schema import RowSchema
+from repro.sweeps.store import Manifest, RunStore
 
 #: Rows printed by ``repro run`` / ``repro report`` before truncation.
 DEFAULT_ROW_LIMIT = 40
@@ -57,7 +58,7 @@ VERDICT_FAMILIES = {
 }
 
 
-def _graphs():
+def _graphs() -> Any:
     """Import :mod:`repro.graphs` lazily so ``repro list`` stays snappy."""
     import repro.graphs as graphs_module
 
@@ -201,14 +202,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_rows(rows: Sequence[dict], limit: int) -> None:
+def _schema_view(manifest: Manifest) -> tuple[list[str], dict[str, str]]:
+    """Derive the report column order and kinds from a run's row schema.
+
+    Columns come out as the swept/injected parameters first (grid
+    declaration order), then the schema's columns in their declared order,
+    then the ``cell_index`` bookkeeping column — the layout
+    :func:`repro.sweeps.orchestrator.aggregate_rows` merges rows in,
+    derived from the manifest instead of sniffed off the first row.
+    """
+    schema = RowSchema.from_json(manifest["row_schema"])
+    parameters = [str(column) for column in manifest["parameter_columns"]]
+    columns = parameters + [
+        name for name in schema.names if name not in parameters
+    ]
+    columns.append("cell_index")
+    kinds = {
+        column.name: column.kind
+        for column in schema.columns
+        if column.name not in parameters
+    }
+    return columns, kinds
+
+
+def _print_rows(
+    rows: Sequence[Mapping[str, object]],
+    limit: int,
+    columns: Sequence[str] | None = None,
+    kinds: Mapping[str, str] | None = None,
+) -> None:
     """Print rows as an aligned table, truncated to ``limit``."""
     if not rows:
         print("(no rows)")
         return
     shown = rows[: max(limit, 0)]
     if shown:
-        print(format_table(shown))
+        print(format_table(shown, columns=columns, kinds=kinds))
     hidden = len(rows) - len(shown)
     if hidden > 0:
         print(f"... {hidden} more row(s) not shown (use --limit)")
@@ -252,7 +281,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     if not args.quiet:
         print()
-        _print_rows(result.rows, args.limit)
+        columns, kinds = _schema_view(result.manifest)
+        _print_rows(result.rows, args.limit, columns=columns, kinds=kinds)
         print(
             f"\nrun {result.run_id!r} complete: {len(result.rows)} rows, "
             f"manifest {result.run_dir / 'manifest.json'}"
@@ -350,7 +380,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     if aggregate is None:
         print("(no aggregate yet — the run is incomplete; rerun `repro run`)")
         return 0
-    _print_rows(aggregate.get("rows", []), args.limit)
+    columns, kinds = _schema_view(manifest)
+    _print_rows(aggregate["rows"], args.limit, columns=columns, kinds=kinds)
     return 0
 
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.conditions.exact import (
     DEFAULT_DECISION_BUDGET,
@@ -194,9 +194,13 @@ def find_source_component_witness(graph: Digraph) -> PartitionWitness | None:
     )
 
 
-def _screen_layer(
-    graph: Digraph, f: int
-) -> tuple[str, object, str] | None:
+#: A layer's decision: ``(status, certificate, reason)``; ``None`` = undecided.
+LayerDecision = tuple[
+    str, InfeasibilityCertificate | FeasibilityCertificate, str
+]
+
+
+def _screen_layer(graph: Digraph, f: int) -> LayerDecision | None:
     """Run the constant-factor screens; return (status, certificate, reason)."""
     n = graph.number_of_nodes
     if not passes_count_screen(n, f):
@@ -276,7 +280,9 @@ def feasibility_verdict(
     n = graph.number_of_nodes
     timings: list[LayerTiming] = []
 
-    def run_layer(name, action):
+    def run_layer(
+        name: str, action: Callable[[], LayerDecision | None]
+    ) -> LayerDecision | None:
         """Time one layer; record the timing and return its decision."""
         start = time.perf_counter()
         decision = action()
@@ -293,7 +299,7 @@ def feasibility_verdict(
     decision = run_layer("screens", lambda: _screen_layer(graph, f))
     if decision is None and n <= max_exhaustive_nodes:
 
-        def exhaustive():
+        def exhaustive() -> LayerDecision:
             """Run the definitive enumeration within its node cap."""
             found = find_violating_partition(graph, f, max_nodes=max_exhaustive_nodes)
             if found is None:
@@ -310,7 +316,7 @@ def feasibility_verdict(
         decision = run_layer("exhaustive", exhaustive)
     if decision is None and n >= 2:
 
-        def witness_search():
+        def witness_search() -> LayerDecision | None:
             """Promote a heuristic witness to a verified certificate."""
             seed_cap = (
                 min(n, DEFAULT_GREEDY_SEED_CAP)
@@ -345,7 +351,7 @@ def feasibility_verdict(
         and n > max_exhaustive_nodes
     ):
 
-        def exact():
+        def exact() -> LayerDecision | None:
             """Push past the enumeration cap with a constraint backend."""
             result = exact_violation_search(
                 graph,

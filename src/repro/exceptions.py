@@ -144,6 +144,18 @@ class ConvergenceError(SimulationError):
         self.tolerance = tolerance
 
 
+class SchemaViolationError(ReproError):
+    """A result row (or stored document) does not match its declared schema.
+
+    Raised by the row-schema layer (:mod:`repro.sweeps.schema`) when a
+    runner emits an unknown, missing or mistyped column, when a stored
+    shard / aggregate fails validation on read, or when a resumed run's
+    on-disk schema fingerprint disagrees with the code's — each message
+    carries the offending coordinates (experiment, cell, row, column) so
+    the corrupted cell is identifiable without a debugger.
+    """
+
+
 class AnalysisError(ReproError):
     """Base class for errors raised by the analysis helpers."""
 

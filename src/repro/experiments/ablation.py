@@ -13,6 +13,8 @@ graphs under the same adversaries.  The qualitative shape the paper implies:
 
 from __future__ import annotations
 
+from typing import TypedDict
+
 from repro.adversary.base import ByzantineStrategy
 from repro.adversary.selection import highest_out_degree_fault_set
 from repro.adversary.strategies import ExtremePushStrategy, StaticValueStrategy
@@ -31,6 +33,40 @@ from repro.simulation.engine import run_synchronous
 from repro.simulation.inputs import linear_ramp_inputs
 from repro.simulation.vectorized import VectorizedEngine, run_vectorized
 from repro.sweeps.registry import register_experiment, select_labelled_case
+from repro.sweeps.schema import schema_from_typeddict
+
+
+class AblationRow(TypedDict):
+    """One row of the E12 rule ablation (one graph x rule x adversary)."""
+
+    graph: str
+    f: int
+    rule: str
+    adversary: str
+    engine: str
+    converged: bool
+    validity_ok: bool
+    final_within_input_hull: bool
+    rounds: int
+    final_spread: float
+
+
+#: Runtime half of :class:`AblationRow`; validated at shard boundaries.
+ABLATION_SCHEMA = schema_from_typeddict(
+    AblationRow,
+    roles={
+        "graph": "label",
+        "f": "parameter",
+        "rule": "label",
+        "adversary": "label",
+        "engine": "label",
+        "converged": "verdict",
+        "validity_ok": "verdict",
+        "final_within_input_hull": "verdict",
+        "rounds": "metric",
+        "final_spread": "metric",
+    },
+)
 
 
 def default_ablation_graphs() -> list[tuple[str, Digraph, int]]:
@@ -78,7 +114,7 @@ def algorithm_ablation(
     graphs: list[tuple[str, Digraph, int]] | None = None,
     rounds: int = 150,
     tolerance: float = 1e-6,
-) -> list[dict[str, object]]:
+) -> list[AblationRow]:
     """Cross every (graph, rule, adversary) combination and record outcomes.
 
     Trimmed rules execute on the vectorized engine driven by the
@@ -87,7 +123,7 @@ def algorithm_ablation(
     engine and the scalar strategies.
     """
     chosen = graphs if graphs is not None else default_ablation_graphs()
-    rows: list[dict[str, object]] = []
+    rows: list[AblationRow] = []
     for label, graph, f in chosen:
         faulty = highest_out_degree_fault_set(graph, f)
         inputs = linear_ramp_inputs(graph.nodes, 0.0, 1.0)
@@ -143,7 +179,7 @@ def algorithm_ablation(
     return rows
 
 
-def ablation_summary(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+def ablation_summary(rows: list[AblationRow]) -> list[dict[str, object]]:
     """Aggregate ablation rows per rule: validity failures and convergence counts."""
     by_rule: dict[str, dict[str, int]] = {}
     for row in rows:
@@ -180,10 +216,11 @@ def ablation_summary(rows: list[dict[str, object]]) -> list[dict[str, object]]:
         "rounds": (150,),
         "tolerance": (1e-6,),
     },
+    schema=ABLATION_SCHEMA,
 )
 def ablation_cell(
     graph: str, rounds: int = 150, tolerance: float = 1e-6
-) -> list[dict[str, object]]:
+) -> list[AblationRow]:
     """Registry cell for E12: the whole rule zoo under both adversaries."""
     matching = select_labelled_case(
         graph, default_ablation_graphs(), "ablation graph"

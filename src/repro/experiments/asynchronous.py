@@ -24,6 +24,8 @@ bit-for-bit to the scalar reference, so the speed costs no fidelity.
 
 from __future__ import annotations
 
+from typing import TypedDict
+
 from repro.adversary.selection import random_fault_set
 from repro.adversary.strategies import ExtremePushStrategy
 from repro.adversary.vectorized import BatchExtremePushStrategy
@@ -45,6 +47,44 @@ from repro.simulation.vectorized_async import (
     run_vectorized_async,
 )
 from repro.sweeps.registry import register_experiment, select_labelled_case
+from repro.sweeps.schema import schema_from_typeddict
+
+
+class AsynchronousRow(TypedDict):
+    """One Monte-Carlo cell of the E9 asynchronous sweep.
+
+    ``async_condition_holds`` is ``None`` when the graph exceeds the exact
+    checker's node cap (the simulation still runs).
+    """
+
+    case: str
+    f: int
+    async_condition_holds: bool | None
+    max_delay_B: int
+    update_probability: float
+    batch: int
+    fraction_converged: float
+    mean_rounds: float
+    all_hull_valid: bool
+    mean_final_spread: float
+
+
+#: Runtime half of :class:`AsynchronousRow`; validated at shard boundaries.
+ASYNCHRONOUS_SCHEMA = schema_from_typeddict(
+    AsynchronousRow,
+    roles={
+        "case": "label",
+        "f": "parameter",
+        "async_condition_holds": "verdict",
+        "max_delay_B": "parameter",
+        "update_probability": "parameter",
+        "batch": "parameter",
+        "fraction_converged": "metric",
+        "mean_rounds": "metric",
+        "all_hull_valid": "verdict",
+        "mean_final_spread": "metric",
+    },
+)
 
 
 def async_condition_sweep(
@@ -150,7 +190,7 @@ def async_sweep(
     rounds: int = 600,
     tolerance: float = 1e-5,
     seed: int = 23,
-) -> list[dict[str, object]]:
+) -> list[AsynchronousRow]:
     """Batched Monte-Carlo sweep of the partially asynchronous model.
 
     For every case × delay bound × activation probability, runs ``batch``
@@ -167,7 +207,7 @@ def async_sweep(
     chosen_probabilities = (
         update_probabilities if update_probabilities is not None else [1.0, 0.75]
     )
-    rows: list[dict[str, object]] = []
+    rows: list[AsynchronousRow] = []
     for index, (label, graph, f) in enumerate(chosen_cases):
         rule = TrimmedMeanRule(f)
         faulty = random_fault_set(graph, f, rng=seed + index) if f > 0 else frozenset()
@@ -227,6 +267,7 @@ def async_sweep(
         "rounds": (600,),
         "tolerance": (1e-5,),
     },
+    schema=ASYNCHRONOUS_SCHEMA,
 )
 def asynchronous_cell(
     case: str,
@@ -236,7 +277,7 @@ def asynchronous_cell(
     rounds: int = 600,
     tolerance: float = 1e-5,
     seed: int = 23,
-) -> list[dict[str, object]]:
+) -> list[AsynchronousRow]:
     """Registry cell for E9: one Monte-Carlo cell of the asynchronous sweep."""
     return async_sweep(
         cases=select_labelled_case(case, _default_cases(), "asynchronous case"),

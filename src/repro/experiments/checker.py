@@ -16,6 +16,7 @@ Two questions:
 from __future__ import annotations
 
 import time
+from typing import TypedDict
 
 import numpy as np
 
@@ -40,6 +41,65 @@ from repro.graphs.generators import (
 )
 from repro.graphs.random_graphs import erdos_renyi_digraph, k_in_regular_digraph
 from repro.sweeps.registry import register_experiment, select_labelled_case
+from repro.sweeps.schema import schema_from_typeddict
+
+
+class CheckerRow(TypedDict):
+    """One row of the E10 checker-agreement study (one battery graph)."""
+
+    case: str
+    n: int
+    f: int
+    exact_condition_holds: bool
+    methods_agree: bool
+    screens_pass: bool
+    greedy_found_witness: bool
+    random_found_witness: bool
+    consistent: bool
+
+
+#: Runtime half of :class:`CheckerRow`; validated at shard boundaries.
+CHECKER_SCHEMA = schema_from_typeddict(
+    CheckerRow,
+    roles={
+        "case": "label",
+        "n": "parameter",
+        "f": "parameter",
+        "exact_condition_holds": "verdict",
+        "methods_agree": "verdict",
+        "screens_pass": "verdict",
+        "greedy_found_witness": "verdict",
+        "random_found_witness": "verdict",
+        "consistent": "verdict",
+    },
+)
+
+
+class CheckerScalingRow(TypedDict):
+    """One row of the E10b checker-scaling sweep (one large graph)."""
+
+    case: str
+    n: int
+    f: int
+    satisfied: bool
+    decided_by: str
+    witness_valid: bool
+    elapsed_seconds: float
+
+
+#: Runtime half of :class:`CheckerScalingRow`; validated at shard boundaries.
+CHECKER_SCALING_SCHEMA = schema_from_typeddict(
+    CheckerScalingRow,
+    roles={
+        "case": "label",
+        "n": "parameter",
+        "f": "parameter",
+        "satisfied": "verdict",
+        "decided_by": "label",
+        "witness_valid": "verdict",
+        "elapsed_seconds": "metric",
+    },
+)
 
 
 def checker_test_battery(seed: int = 17) -> list[tuple[str, Digraph, int]]:
@@ -82,7 +142,7 @@ def checker_agreement_study(
     battery: list[tuple[str, Digraph, int]] | None = None,
     random_attempts: int = 300,
     seed: int = 29,
-) -> list[dict[str, object]]:
+) -> list[CheckerRow]:
     """Compare the exact checker against screens and heuristic searches.
 
     Every row records the exact verdict, the screen verdicts and whether each
@@ -90,7 +150,7 @@ def checker_agreement_study(
     method contradicts the exact verdict in the disallowed direction.
     """
     chosen = battery if battery is not None else checker_test_battery()
-    rows: list[dict[str, object]] = []
+    rows: list[CheckerRow] = []
     for label, graph, f in chosen:
         exact_witness = find_violating_partition(graph, f, method="bitset")
         legacy_witness = find_violating_partition(graph, f, method="python")
@@ -185,13 +245,14 @@ def checker_scaling_battery() -> list[tuple[str, Digraph, int]]:
     grid={
         "case": tuple(label for label, _, _ in checker_scaling_battery()),
     },
+    schema=CHECKER_SCALING_SCHEMA,
 )
-def checker_scaling_cell(case: str) -> list[dict[str, object]]:
+def checker_scaling_cell(case: str) -> list[CheckerScalingRow]:
     """Registry cell for E10b: time the exact bitset check on one large case."""
     matching = select_labelled_case(
         case, checker_scaling_battery(), "checker_scaling case"
     )
-    rows: list[dict[str, object]] = []
+    rows: list[CheckerScalingRow] = []
     for label, graph, f in matching:
         cap = max(graph.number_of_nodes, DEFAULT_MAX_EXACT_NODES)
         start = time.perf_counter()
@@ -228,10 +289,11 @@ def checker_scaling_cell(case: str) -> list[dict[str, object]]:
         "case": tuple(label for label, _, _ in checker_test_battery()),
         "random_attempts": (300,),
     },
+    schema=CHECKER_SCHEMA,
 )
 def checker_cell(
     case: str, random_attempts: int = 300, seed: int = 29
-) -> list[dict[str, object]]:
+) -> list[CheckerRow]:
     """Registry cell for E10: the checker-agreement study on one battery graph."""
     matching = select_labelled_case(case, checker_test_battery(), "checker case")
     return checker_agreement_study(

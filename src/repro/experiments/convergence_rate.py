@@ -22,6 +22,8 @@ Monte-Carlo batch over many input draws via
 
 from __future__ import annotations
 
+from typing import TypedDict
+
 import numpy as np
 
 from repro.adversary.selection import random_fault_set
@@ -42,7 +44,49 @@ from repro.simulation.inputs import bimodal_inputs
 from repro.simulation.trace import spreads_from_records
 from repro.simulation.vectorized import BatchRunner, run_vectorized
 from repro.sweeps.registry import register_experiment, select_labelled_case
+from repro.sweeps.schema import schema_from_typeddict
 from repro.types import NodeId
+
+
+class ConvergenceRateRow(TypedDict):
+    """One Monte-Carlo cell of the E7 convergence-rate sweep.
+
+    ``max_rounds`` and the percentile columns are ``float`` because an empty
+    converged set yields ``nan`` (declared float; int values still validate).
+    """
+
+    case: str
+    n: int
+    f: int
+    batch: int
+    alpha: float
+    fraction_converged: float
+    all_validity_ok: bool
+    mean_rounds: float
+    p50_rounds: float
+    p90_rounds: float
+    max_rounds: float
+    bound_rounds: int
+
+
+#: Runtime half of :class:`ConvergenceRateRow`; validated at shard boundaries.
+CONVERGENCE_RATE_SCHEMA = schema_from_typeddict(
+    ConvergenceRateRow,
+    roles={
+        "case": "label",
+        "n": "parameter",
+        "f": "parameter",
+        "batch": "parameter",
+        "alpha": "metric",
+        "fraction_converged": "metric",
+        "all_validity_ok": "verdict",
+        "mean_rounds": "metric",
+        "p50_rounds": "metric",
+        "p90_rounds": "metric",
+        "max_rounds": "metric",
+        "bound_rounds": "metric",
+    },
+)
 
 
 def default_rate_cases() -> list[tuple[str, Digraph, int]]:
@@ -135,7 +179,7 @@ def convergence_rate_sweep(
     rounds: int = 300,
     tolerance: float = 1e-7,
     seed: int = 11,
-) -> list[dict[str, object]]:
+) -> list[ConvergenceRateRow]:
     """Monte-Carlo extension of E7: ``batch`` random input draws per case.
 
     Each case runs as one batched pass of the vectorized engine under the
@@ -145,7 +189,7 @@ def convergence_rate_sweep(
     Deterministic for a fixed ``seed``.
     """
     chosen = cases if cases is not None else default_rate_cases()
-    rows: list[dict[str, object]] = []
+    rows: list[ConvergenceRateRow] = []
     for index, (label, graph, f) in enumerate(chosen):
         rule = TrimmedMeanRule(f)
         faulty: frozenset[NodeId] = (
@@ -213,6 +257,7 @@ def convergence_rate_sweep(
         "rounds": (300,),
         "tolerance": (1e-7,),
     },
+    schema=CONVERGENCE_RATE_SCHEMA,
 )
 def convergence_rate_cell(
     case: str,
@@ -220,7 +265,7 @@ def convergence_rate_cell(
     rounds: int = 300,
     tolerance: float = 1e-7,
     seed: int = 11,
-) -> list[dict[str, object]]:
+) -> list[ConvergenceRateRow]:
     """Registry cell for E7: one Monte-Carlo case on the vectorized engine."""
     return convergence_rate_sweep(
         cases=select_labelled_case(

@@ -10,6 +10,8 @@
 
 from __future__ import annotations
 
+from typing import TypedDict
+
 from repro.adversary.selection import highest_out_degree_fault_set
 from repro.adversary.strategies import ExtremePushStrategy
 from repro.algorithms.trimmed_mean import TrimmedMeanRule
@@ -25,6 +27,59 @@ from repro.graphs.properties import minimum_in_degree
 from repro.simulation.engine import run_synchronous
 from repro.simulation.inputs import linear_ramp_inputs
 from repro.sweeps.registry import register_experiment
+from repro.sweeps.schema import schema_from_typeddict
+
+
+class _CorollariesRowBase(TypedDict):
+    """Column shared by both corollary sweeps."""
+
+    condition_holds: bool
+
+
+class CorollariesRow(_CorollariesRowBase, total=False):
+    """One row of E2 (Corollary 2) or E3 (Corollary 3).
+
+    The two sweeps emit disjoint column sets, so every column except the
+    shared ``condition_holds`` verdict is absent-allowed.
+    """
+
+    # Corollary-2 columns (n-sweep over complete graphs).
+    n: int
+    f: int
+    n_gt_3f: bool
+    method: str
+    algorithm_runs: bool
+    converged: bool
+    validity_ok: bool
+    rounds: int
+    final_spread: float
+    # Corollary-3 columns (edge removal at one victim node).
+    removed_incoming_edges: int
+    victim_in_degree: int
+    min_in_degree: int
+    in_degree_screen: bool
+
+
+#: Runtime half of :class:`CorollariesRow`; validated at shard boundaries.
+COROLLARIES_SCHEMA = schema_from_typeddict(
+    CorollariesRow,
+    roles={
+        "n": "parameter",
+        "f": "parameter",
+        "n_gt_3f": "verdict",
+        "condition_holds": "verdict",
+        "method": "label",
+        "algorithm_runs": "verdict",
+        "converged": "verdict",
+        "validity_ok": "verdict",
+        "rounds": "metric",
+        "final_spread": "metric",
+        "removed_incoming_edges": "parameter",
+        "victim_in_degree": "metric",
+        "min_in_degree": "metric",
+        "in_degree_screen": "verdict",
+    },
+)
 
 
 def corollary2_sweep(
@@ -32,7 +87,7 @@ def corollary2_sweep(
     n_values: list[int] | None = None,
     rounds: int = 200,
     tolerance: float = 1e-6,
-) -> list[dict[str, object]]:
+) -> list[CorollariesRow]:
     """Sweep ``n`` over complete graphs for fixed ``f`` (experiment E2).
 
     For every ``n`` the row records whether the Corollary-2 screen and the
@@ -43,12 +98,12 @@ def corollary2_sweep(
     if f < 0:
         raise InvalidParameterError(f"f must be >= 0, got {f}")
     chosen_n = n_values if n_values is not None else list(range(2, 3 * f + 4))
-    rows: list[dict[str, object]] = []
+    rows: list[CorollariesRow] = []
     for n in chosen_n:
         graph = complete_graph(n)
         screen = passes_count_screen(n, f)
         feasibility = check_feasibility(graph, f)
-        row: dict[str, object] = {
+        row: CorollariesRow = {
             "n": n,
             "f": f,
             "n_gt_3f": screen,
@@ -89,7 +144,7 @@ def corollary3_edge_removal(
     f: int,
     n: int | None = None,
     victim: int | None = None,
-) -> list[dict[str, object]]:
+) -> list[CorollariesRow]:
     """Progressively remove incoming edges at one node of a core network (E3).
 
     Starting from a core network (feasible), incoming edges of the ``victim``
@@ -103,7 +158,7 @@ def corollary3_edge_removal(
     graph = core_network(node_count, f)
     chosen_victim = victim if victim is not None else node_count - 1
     incoming = sorted(graph.in_neighbors(chosen_victim), key=repr)
-    rows: list[dict[str, object]] = []
+    rows: list[CorollariesRow] = []
     working = graph.copy()
     for removed_count in range(len(incoming) + 1):
         feasibility = check_feasibility(working, f, use_structural_shortcuts=False)
@@ -142,8 +197,9 @@ def low_in_degree_always_fails(graph: Digraph, f: int) -> bool:
     ),
     engine="scalar-sync",
     grid={"corollary": (2, 3), "f": (1, 2)},
+    schema=COROLLARIES_SCHEMA,
 )
-def corollaries_cell(corollary: int, f: int) -> list[dict[str, object]]:
+def corollaries_cell(corollary: int, f: int) -> list[CorollariesRow]:
     """Registry cell for E2-E3: one corollary sweep for one fault budget."""
     if corollary == 2:
         return corollary2_sweep(f)

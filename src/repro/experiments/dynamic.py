@@ -24,6 +24,8 @@ experiments cover that axis:
 
 from __future__ import annotations
 
+from typing import TypedDict
+
 import numpy as np
 
 from repro.adversary.selection import random_fault_set
@@ -51,7 +53,86 @@ from repro.simulation.vectorized import (
     random_input_matrix,
 )
 from repro.sweeps.registry import register_experiment, select_labelled_case
+from repro.sweeps.schema import schema_from_typeddict
 from repro.types import NodeId
+
+
+class DynamicTopologyRow(TypedDict):
+    """One guarded cell of the E16 dynamic-topology sweep."""
+
+    case: str
+    schedule: str
+    n: int
+    f: int
+    batch: int
+    rounds: int
+    mean_edge_down_fraction: float
+    mean_asleep_fraction: float
+    fraction_converged: float
+    all_validity_ok: bool
+    mean_final_spread: float
+    mean_contraction: float
+    scalar_guard: bool
+    sparse_guard: bool
+
+
+#: Runtime half of :class:`DynamicTopologyRow`; validated at shard boundaries.
+DYNAMIC_TOPOLOGY_SCHEMA = schema_from_typeddict(
+    DynamicTopologyRow,
+    roles={
+        "case": "label",
+        "schedule": "label",
+        "n": "parameter",
+        "f": "parameter",
+        "batch": "parameter",
+        "rounds": "parameter",
+        "mean_edge_down_fraction": "metric",
+        "mean_asleep_fraction": "metric",
+        "fraction_converged": "metric",
+        "all_validity_ok": "verdict",
+        "mean_final_spread": "metric",
+        "mean_contraction": "metric",
+        "scalar_guard": "verdict",
+        "sparse_guard": "verdict",
+    },
+)
+
+
+class ChurnSweepRow(TypedDict):
+    """One awake-probability point of the E17 churn sweep."""
+
+    n: int
+    f: int
+    p_awake: float
+    batch: int
+    rounds: int
+    mean_asleep_fraction: float
+    fraction_converged: float
+    all_validity_ok: bool
+    participation_audit_ok: bool
+    mean_rounds: float
+    p90_rounds: float
+    mean_final_spread: float
+
+
+#: Runtime half of :class:`ChurnSweepRow`; validated at shard boundaries.
+CHURN_SWEEP_SCHEMA = schema_from_typeddict(
+    ChurnSweepRow,
+    roles={
+        "n": "parameter",
+        "f": "parameter",
+        "p_awake": "parameter",
+        "batch": "parameter",
+        "rounds": "parameter",
+        "mean_asleep_fraction": "metric",
+        "fraction_converged": "metric",
+        "all_validity_ok": "verdict",
+        "participation_audit_ok": "verdict",
+        "mean_rounds": "metric",
+        "p90_rounds": "metric",
+        "mean_final_spread": "metric",
+    },
+)
 
 #: Schedule kinds the E16 grid sweeps (``make_dynamic_schedule`` keys).
 DYNAMIC_SCHEDULE_KINDS = (
@@ -137,7 +218,7 @@ def dynamic_topology_study(
     p_up: float = 0.8,
     p_awake: float = 0.85,
     seed: int = 0,
-) -> list[dict[str, object]]:
+) -> list[DynamicTopologyRow]:
     """Run one schedule kind over the graph cases with equivalence guards.
 
     Per case: ``batch`` executions on the dense engine under the schedule
@@ -147,7 +228,7 @@ def dynamic_topology_study(
     divergence raises :class:`~repro.exceptions.SimulationError`.
     """
     chosen = cases if cases is not None else default_dynamic_cases()
-    rows: list[dict[str, object]] = []
+    rows: list[DynamicTopologyRow] = []
     for index, (label, graph, f) in enumerate(chosen):
         rule = TrimmedMeanRule(f)
         faulty: frozenset[NodeId] = random_fault_set(graph, f, rng=seed + index)
@@ -248,6 +329,7 @@ def dynamic_topology_study(
         "batch": (16,),
         "rounds": (60,),
     },
+    schema=DYNAMIC_TOPOLOGY_SCHEMA,
 )
 def dynamic_topology_cell(
     case: str,
@@ -255,7 +337,7 @@ def dynamic_topology_cell(
     batch: int = 16,
     rounds: int = 60,
     seed: int = 0,
-) -> list[dict[str, object]]:
+) -> list[DynamicTopologyRow]:
     """Registry cell for E16: one (case, schedule kind) guarded dynamic sweep."""
     return dynamic_topology_study(
         cases=select_labelled_case(
@@ -276,7 +358,7 @@ def churn_sweep_study(
     rounds: int = 120,
     tolerance: float = 1e-6,
     seed: int = 0,
-) -> list[dict[str, object]]:
+) -> list[ChurnSweepRow]:
     """Measure convergence degradation under one awake probability.
 
     Runs ``batch`` executions on the dense engine over ``core_network(n, f)``
@@ -362,13 +444,14 @@ def churn_sweep_study(
         "batch": (32,),
         "rounds": (120,),
     },
+    schema=CHURN_SWEEP_SCHEMA,
 )
 def churn_sweep_cell(
     p_awake: float,
     batch: int = 32,
     rounds: int = 120,
     seed: int = 0,
-) -> list[dict[str, object]]:
+) -> list[ChurnSweepRow]:
     """Registry cell for E17: one awake-probability point of the churn sweep."""
     return churn_sweep_study(
         p_awake=p_awake, batch=batch, rounds=rounds, seed=seed

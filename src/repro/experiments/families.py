@@ -19,6 +19,8 @@ study over many input draws per ``(n, f)`` via
 
 from __future__ import annotations
 
+from typing import TypedDict
+
 from repro.adversary.selection import random_fault_set
 from repro.adversary.strategies import RandomNoiseStrategy
 from repro.adversary.vectorized import BatchExtremePushStrategy
@@ -45,6 +47,89 @@ from repro.simulation.engine import SimulationConfig
 from repro.simulation.inputs import bimodal_inputs, uniform_random_inputs
 from repro.simulation.vectorized import BatchRunner, run_vectorized
 from repro.sweeps.registry import register_experiment
+from repro.sweeps.schema import schema_from_typeddict
+
+# The six Section-6 studies emit disjoint column sets, so the union schema
+# marks every column absent-allowed.  Functional syntax because
+# ``connectivity_at_least_2f+1`` is not a Python identifier.
+FamiliesRow = TypedDict(
+    "FamiliesRow",
+    {
+        # Shared / E4 core-network columns.
+        "n": int,
+        "f": int,
+        "detected_as_core": bool,
+        "condition_holds": bool,
+        "undirected_edges": int,
+        "complete_graph_edges": int,
+        "converged": bool,
+        "validity_ok": bool,
+        "rounds": int,
+        # E4 Monte-Carlo batch columns.
+        "batch": int,
+        "fraction_converged": float,
+        "all_validity_ok": bool,
+        "mean_rounds": float,
+        # Minimality-conjecture columns.
+        "core_edges": int,
+        "complete_edges": int,
+        "savings_fraction": float,
+        # E5 hypercube columns.
+        "dimension": int,
+        "vertex_connectivity": int,
+        "connectivity_at_least_2f+1": bool,
+        "dimension_cut_is_witness": bool,
+        "attack_stalls": bool,
+        "attack_validity_ok": bool,
+        # E6 chord columns.
+        "case": str,
+        "is_complete": bool,
+        "paper_verdict": bool,
+        "agrees_with_paper": bool,
+        "paper_witness_valid": bool,
+        "checker_found_witness": bool,
+        "converged_under_attack": bool,
+        "method": str,
+    },
+    total=False,
+)
+
+#: Runtime half of :class:`FamiliesRow`; validated at shard boundaries.
+FAMILIES_SCHEMA = schema_from_typeddict(
+    FamiliesRow,
+    roles={
+        "n": "parameter",
+        "f": "parameter",
+        "detected_as_core": "verdict",
+        "condition_holds": "verdict",
+        "undirected_edges": "metric",
+        "complete_graph_edges": "metric",
+        "converged": "verdict",
+        "validity_ok": "verdict",
+        "rounds": "metric",
+        "batch": "parameter",
+        "fraction_converged": "metric",
+        "all_validity_ok": "verdict",
+        "mean_rounds": "metric",
+        "core_edges": "metric",
+        "complete_edges": "metric",
+        "savings_fraction": "metric",
+        "dimension": "parameter",
+        "vertex_connectivity": "metric",
+        "connectivity_at_least_2f+1": "verdict",
+        "dimension_cut_is_witness": "verdict",
+        "attack_stalls": "verdict",
+        "attack_validity_ok": "verdict",
+        "case": "label",
+        "is_complete": "verdict",
+        "paper_verdict": "verdict",
+        "agrees_with_paper": "verdict",
+        "paper_witness_valid": "verdict",
+        "checker_found_witness": "verdict",
+        "converged_under_attack": "verdict",
+        "method": "label",
+    },
+)
 
 
 # ---------------------------------------------------------------------------
@@ -55,7 +140,7 @@ def core_network_study(
     rounds: int = 300,
     tolerance: float = 1e-6,
     seed: int = 7,
-) -> list[dict[str, object]]:
+) -> list[FamiliesRow]:
     """Check and exercise core networks for several ``(n, f)`` pairs.
 
     Every row reports the structural detection, the exact condition verdict,
@@ -64,7 +149,7 @@ def core_network_study(
     faulty nodes.
     """
     chosen = cases if cases is not None else [(4, 1), (7, 2), (7, 1), (10, 3), (13, 4)]
-    rows: list[dict[str, object]] = []
+    rows: list[FamiliesRow] = []
     for index, (n, f) in enumerate(chosen):
         graph = core_network(n, f)
         feasibility = check_feasibility(graph, f)
@@ -101,7 +186,7 @@ def core_network_batch_sweep(
     rounds: int = 300,
     tolerance: float = 1e-6,
     seed: int = 7,
-) -> list[dict[str, object]]:
+) -> list[FamiliesRow]:
     """Monte-Carlo extension of E4: ``batch`` random input draws per case.
 
     Each ``(n, f)`` core network runs as one batched pass under the
@@ -111,7 +196,7 @@ def core_network_batch_sweep(
     ``seed``.
     """
     chosen = cases if cases is not None else [(4, 1), (7, 2), (10, 3), (13, 4)]
-    rows: list[dict[str, object]] = []
+    rows: list[FamiliesRow] = []
     for index, (n, f) in enumerate(chosen):
         graph = core_network(n, f)
         faulty = random_fault_set(graph, f, rng=seed + index)
@@ -140,12 +225,12 @@ def core_network_batch_sweep(
     return rows
 
 
-def core_network_minimality_comparison(f_values: list[int] | None = None) -> list[dict[str, object]]:
+def core_network_minimality_comparison(f_values: list[int] | None = None) -> list[FamiliesRow]:
     """Compare edge counts of the ``n = 3f + 1`` core network against the
     complete graph on the same nodes (the paper conjectures the core network
     is edge-minimal among feasible undirected graphs on ``3f + 1`` nodes)."""
     chosen_f = f_values if f_values is not None else [1, 2, 3, 4]
-    rows: list[dict[str, object]] = []
+    rows: list[FamiliesRow] = []
     for f in chosen_f:
         n = 3 * f + 1
         core = core_network(n, f)
@@ -171,7 +256,7 @@ def hypercube_study(
     dimensions: list[int] | None = None,
     f_values: list[int] | None = None,
     attack_rounds: int = 30,
-) -> list[dict[str, object]]:
+) -> list[FamiliesRow]:
     """Reproduce the hypercube analysis of Section 6.2.
 
     For each dimension ``d`` the rows report the vertex connectivity (equal to
@@ -182,7 +267,7 @@ def hypercube_study(
     """
     chosen_dimensions = dimensions if dimensions is not None else [3]
     chosen_f = f_values if f_values is not None else [1]
-    rows: list[dict[str, object]] = []
+    rows: list[FamiliesRow] = []
     for dimension in chosen_dimensions:
         graph = hypercube(dimension)
         connectivity = vertex_connectivity(graph)
@@ -191,7 +276,7 @@ def hypercube_study(
                 raise InvalidParameterError("hypercube study requires f >= 1")
             witness = hypercube_dimension_cut_witness(dimension)
             witness_valid = verify_witness(graph, f, witness)
-            row: dict[str, object] = {
+            row: FamiliesRow = {
                 "dimension": dimension,
                 "n": graph.number_of_nodes,
                 "f": f,
@@ -215,9 +300,9 @@ def hypercube_study(
 # ---------------------------------------------------------------------------
 # E6 — chord networks (Section 6.3)
 # ---------------------------------------------------------------------------
-def chord_case_studies(rounds: int = 300, tolerance: float = 1e-6) -> list[dict[str, object]]:
+def chord_case_studies(rounds: int = 300, tolerance: float = 1e-6) -> list[FamiliesRow]:
     """Reproduce the three chord-network instances analysed in Section 6.3."""
-    rows: list[dict[str, object]] = []
+    rows: list[FamiliesRow] = []
 
     # f = 1, n = 4: the chord construction yields the complete graph.
     graph_4 = chord_network(4, 1)
@@ -280,7 +365,7 @@ def chord_case_studies(rounds: int = 300, tolerance: float = 1e-6) -> list[dict[
 def chord_feasibility_sweep(
     n_values: list[int] | None = None,
     f_values: list[int] | None = None,
-) -> list[dict[str, object]]:
+) -> list[FamiliesRow]:
     """Map the feasibility frontier of the chord family over ``(n, f)``.
 
     Extends the paper's three data points into a small sweep; each row records
@@ -288,7 +373,7 @@ def chord_feasibility_sweep(
     """
     chosen_n = n_values if n_values is not None else list(range(4, 11))
     chosen_f = f_values if f_values is not None else [1, 2]
-    rows: list[dict[str, object]] = []
+    rows: list[FamiliesRow] = []
     for f in chosen_f:
         for n in chosen_n:
             if n <= 3 * f:
@@ -330,8 +415,9 @@ FAMILY_STUDIES = (
     ),
     engine="mixed",
     grid={"study": FAMILY_STUDIES},
+    schema=FAMILIES_SCHEMA,
 )
-def families_cell(study: str, seed: int = 7) -> list[dict[str, object]]:
+def families_cell(study: str, seed: int = 7) -> list[FamiliesRow]:
     """Registry cell for E4-E6: one Section-6 family study per cell."""
     if study == "core":
         return core_network_study(seed=seed)

@@ -24,6 +24,7 @@ column must be true on every row.
 from __future__ import annotations
 
 import time
+from typing import TypedDict
 
 from repro.conditions.verdict import (
     UNKNOWN,
@@ -37,6 +38,42 @@ from repro.graphs.random_graphs import (
     random_core_like_network,
 )
 from repro.sweeps.registry import register_experiment, select_labelled_case
+from repro.sweeps.schema import schema_from_typeddict
+
+
+class FeasibilityScaleRow(TypedDict):
+    """One audited verdict of the E12 feasibility-at-scale sweep."""
+
+    case: str
+    n: int
+    f: int
+    status: str
+    decided: bool
+    decided_by: str
+    certificate: str
+    certificate_ok: bool
+    screens_ms: float
+    witness_ms: float
+    elapsed_seconds: float
+
+
+#: Runtime half of :class:`FeasibilityScaleRow`; validated at shard boundaries.
+FEASIBILITY_SCALE_SCHEMA = schema_from_typeddict(
+    FeasibilityScaleRow,
+    roles={
+        "case": "label",
+        "n": "parameter",
+        "f": "parameter",
+        "status": "label",
+        "decided": "verdict",
+        "decided_by": "label",
+        "certificate": "label",
+        "certificate_ok": "verdict",
+        "screens_ms": "metric",
+        "witness_ms": "metric",
+        "elapsed_seconds": "metric",
+    },
+)
 
 #: Node counts swept by the scale battery.
 DEFAULT_SCALE_SIZES = (100, 300, 1000)
@@ -85,7 +122,7 @@ def feasibility_scale_study(
     battery: list[tuple[str, Digraph, int]] | None = None,
     witness_attempts: int = 60,
     seed: int = 23,
-) -> list[dict[str, object]]:
+) -> list[FeasibilityScaleRow]:
     """Run the verdict stack over the battery and audit every certificate.
 
     Each row records the verdict status, the deciding layer, the certificate
@@ -93,7 +130,7 @@ def feasibility_scale_study(
     wall-clock split across layers.
     """
     chosen = battery if battery is not None else feasibility_scale_battery()
-    rows: list[dict[str, object]] = []
+    rows: list[FeasibilityScaleRow] = []
     for label, graph, f in chosen:
         start = time.perf_counter()
         verdict = feasibility_verdict(
@@ -133,10 +170,11 @@ def feasibility_scale_study(
         "case": tuple(label for label, _, _ in feasibility_scale_battery()),
         "witness_attempts": (60,),
     },
+    schema=FEASIBILITY_SCALE_SCHEMA,
 )
 def feasibility_scale_cell(
     case: str, witness_attempts: int = 60, seed: int = 23
-) -> list[dict[str, object]]:
+) -> list[FeasibilityScaleRow]:
     """Registry cell for E12: the verdict stack on one battery graph."""
     matching = select_labelled_case(
         case, feasibility_scale_battery(), "feasibility_at_scale case"

@@ -19,6 +19,7 @@ attack, runs a chosen update rule, and reports that
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TypedDict
 
 import numpy as np
 
@@ -43,7 +44,39 @@ from repro.simulation.vectorized import (
     run_vectorized,
 )
 from repro.sweeps.registry import register_experiment, select_labelled_case
+from repro.sweeps.schema import schema_from_typeddict
 from repro.types import ConsensusOutcome, PartitionWitness
+
+
+class NecessityRow(TypedDict):
+    """One row of the E1 necessity sweep (one violating graph, one attack)."""
+
+    case: str
+    n: int
+    f: int
+    witness: str
+    rounds: int
+    final_spread: float
+    converged: bool
+    validity_ok: bool
+    stalled: bool
+
+
+#: Runtime half of :class:`NecessityRow`; validated at shard boundaries.
+NECESSITY_SCHEMA = schema_from_typeddict(
+    NecessityRow,
+    roles={
+        "case": "label",
+        "n": "parameter",
+        "f": "parameter",
+        "witness": "label",
+        "rounds": "metric",
+        "final_spread": "metric",
+        "converged": "verdict",
+        "validity_ok": "verdict",
+        "stalled": "verdict",
+    },
+)
 
 
 @dataclass(frozen=True)
@@ -209,12 +242,12 @@ def split_brain_stall_study(
 def necessity_rows(
     cases: list[tuple[str, Digraph, int, PartitionWitness | None]],
     rounds: int = 50,
-) -> list[dict[str, object]]:
+) -> list[NecessityRow]:
     """Run :func:`demonstrate_necessity` over labelled cases and return table rows.
 
     Each case is ``(label, graph, f, witness_or_None)``.
     """
-    rows: list[dict[str, object]] = []
+    rows: list[NecessityRow] = []
     for label, graph, f, witness in cases:
         demo = demonstrate_necessity(graph, f, witness=witness, rounds=rounds)
         rows.append(
@@ -266,8 +299,9 @@ def default_necessity_cases() -> list[tuple[str, Digraph, int, PartitionWitness 
         ),
         "rounds": (50,),
     },
+    schema=NECESSITY_SCHEMA,
 )
-def necessity_cell(case: str, rounds: int = 50) -> list[dict[str, object]]:
+def necessity_cell(case: str, rounds: int = 50) -> list[NecessityRow]:
     """Registry cell for E1: mount the necessity attack on one violating graph."""
     matching = select_labelled_case(
         case, default_necessity_cases(), "necessity case"

@@ -4,6 +4,13 @@ The paper has no measurement tables, so the experiment drivers emit small
 qualitative tables (graph family, parameters, condition verdict, convergence
 verdict, rates).  These helpers format lists of dictionaries as aligned ASCII
 tables so examples and the benchmark harness print directly comparable rows.
+
+When a :class:`~repro.sweeps.schema.RowSchema` is available (``repro
+report`` reads one out of every run manifest), the table derives its column
+order and per-column formatting from the schema's declared kinds instead of
+sniffing the first row — absent and ``None`` cells render empty, ``float``
+columns format at the requested precision even when a particular value
+happens to be integral.
 """
 
 from __future__ import annotations
@@ -13,11 +20,16 @@ from typing import Iterable, Mapping, Sequence
 from repro.exceptions import InvalidParameterError
 
 
-def _format_cell(value: object, precision: int) -> str:
+def _format_cell(value: object, precision: int, kind: str | None = None) -> str:
+    """Render one cell; ``kind`` (from a row schema) overrides type sniffing."""
+    if value is None or (isinstance(value, str) and not value):
+        return ""
     if isinstance(value, bool):
         return "yes" if value else "no"
-    if isinstance(value, float):
-        return f"{value:.{precision}g}"
+    if isinstance(value, (int, float)) and (
+        kind == "float" or (kind is None and isinstance(value, float))
+    ):
+        return f"{float(value):.{precision}g}"
     return str(value)
 
 
@@ -25,21 +37,31 @@ def format_table(
     rows: Sequence[Mapping[str, object]],
     columns: Sequence[str] | None = None,
     precision: int = 4,
+    kinds: Mapping[str, str] | None = None,
 ) -> str:
     """Format ``rows`` (a list of dicts) as an aligned ASCII table.
 
     ``columns`` selects and orders the columns; by default the keys of the
-    first row are used.  Missing values render as an empty cell.
+    first row are used.  ``kinds`` optionally maps column name → schema kind
+    (``int`` / ``float`` / ``bool`` / ``str``) so formatting follows the
+    declared type rather than each value's runtime type.  Missing values
+    render as an empty cell.
     """
     if not rows:
         return "(no rows)"
     selected = list(columns) if columns is not None else list(rows[0].keys())
     if not selected:
         raise InvalidParameterError("at least one column is required")
+    kind_of = dict(kinds) if kinds is not None else {}
     table: list[list[str]] = [[str(column) for column in selected]]
     for row in rows:
         table.append(
-            [_format_cell(row.get(column, ""), precision) for column in selected]
+            [
+                _format_cell(
+                    row.get(column, ""), precision, kind_of.get(column)
+                )
+                for column in selected
+            ]
         )
     widths = [
         max(len(table[line][column]) for line in range(len(table)))
@@ -61,25 +83,40 @@ def print_table(
     columns: Sequence[str] | None = None,
     title: str | None = None,
     precision: int = 4,
+    kinds: Mapping[str, str] | None = None,
 ) -> None:
     """Print a table (optionally preceded by a title and a blank line)."""
     if title:
         print(title)
         print("=" * len(title))
-    print(format_table(rows, columns=columns, precision=precision))
+    print(format_table(rows, columns=columns, precision=precision, kinds=kinds))
     print()
 
 
-def summarize_booleans(rows: Iterable[Mapping[str, object]], key: str) -> dict[str, int]:
+def summarize_booleans(
+    rows: Iterable[Mapping[str, object]], key: str
+) -> dict[str, int]:
     """Count how many rows have ``True`` / ``False`` under ``key``.
 
     Handy for quick assertions in benchmarks ("all families converged").
+    Values must be real booleans (or ``None``, counted as missing): a
+    truthy ``int`` or string under a verdict column is a schema violation
+    upstream, and silently counting it as ``True`` here historically masked
+    exactly that corruption — so it raises instead.
     """
     counts = {"true": 0, "false": 0, "missing": 0}
-    for row in rows:
-        if key not in row:
+    for index, row in enumerate(rows):
+        if key not in row or row[key] is None:
             counts["missing"] += 1
-        elif bool(row[key]):
+            continue
+        value = row[key]
+        if not isinstance(value, bool):
+            raise InvalidParameterError(
+                f"summarize_booleans({key!r}): row {index} holds "
+                f"{type(value).__name__} ({value!r}), not a bool; "
+                "fix the producing row or pick a verdict column"
+            )
+        if value:
             counts["true"] += 1
         else:
             counts["false"] += 1

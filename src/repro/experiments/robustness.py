@@ -18,6 +18,8 @@ adversarial behaviour they predict.
 
 from __future__ import annotations
 
+from typing import TypedDict
+
 from repro.adversary.selection import highest_out_degree_fault_set
 from repro.adversary.vectorized import BatchExtremePushStrategy
 from repro.algorithms.trimmed_mean import TrimmedMeanRule
@@ -35,7 +37,60 @@ from repro.graphs.generators import (
 from repro.simulation.engine import SimulationConfig
 from repro.simulation.vectorized import BatchRunner
 from repro.sweeps.registry import register_experiment, select_labelled_case
+from repro.sweeps.schema import schema_from_typeddict
 from repro.types import FeasibilityResult
+
+
+class _SimColumns(TypedDict):
+    """Batched-simulation columns backing one structural verdict.
+
+    All four are ``None`` when no attack could be mounted (no witness).
+    """
+
+    sim_adversary: str | None
+    sim_fraction_converged: float | None
+    sim_all_validity_ok: bool | None
+    sim_stalled_fraction: float | None
+
+
+# Functional syntax because the robustness predicates are spelled with the
+# paper's notation ("robust_2f+1" is not a Python identifier).
+RobustnessRow = TypedDict(
+    "RobustnessRow",
+    {
+        "case": str,
+        "n": int,
+        "f": int,
+        "theorem1_holds": bool,
+        "robust_2f+1": bool,
+        "robust_(f+1,f+1)": bool,
+        "robustness_degree": int,
+        "agrees": bool,
+        "sim_adversary": str | None,
+        "sim_fraction_converged": float | None,
+        "sim_all_validity_ok": bool | None,
+        "sim_stalled_fraction": float | None,
+    },
+)
+
+#: Runtime half of :class:`RobustnessRow`; validated at shard boundaries.
+ROBUSTNESS_SCHEMA = schema_from_typeddict(
+    RobustnessRow,
+    roles={
+        "case": "label",
+        "n": "parameter",
+        "f": "parameter",
+        "theorem1_holds": "verdict",
+        "robust_2f+1": "verdict",
+        "robust_(f+1,f+1)": "verdict",
+        "robustness_degree": "metric",
+        "agrees": "verdict",
+        "sim_adversary": "label",
+        "sim_fraction_converged": "metric",
+        "sim_all_validity_ok": "verdict",
+        "sim_stalled_fraction": "metric",
+    },
+)
 
 
 def default_robustness_cases() -> list[tuple[str, Digraph, int]]:
@@ -61,7 +116,7 @@ def _dynamic_check(
     batch: int,
     rounds: int,
     seed: int,
-) -> dict[str, object]:
+) -> _SimColumns:
     """Exercise the structural verdict on the batched vectorized engine.
 
     Feasible graphs run ``batch`` random executions under the batch-native
@@ -114,7 +169,7 @@ def robustness_comparison(
     batch: int = 16,
     rounds: int = 120,
     seed: int = 23,
-) -> list[dict[str, object]]:
+) -> list[RobustnessRow]:
     """Evaluate Theorem 1, ``(2f+1)``-robustness and ``(f+1, f+1)``-robustness.
 
     Each row records all three verdicts plus the graph's robustness degree;
@@ -124,27 +179,32 @@ def robustness_comparison(
     :func:`_dynamic_check`).
     """
     chosen = cases if cases is not None else default_robustness_cases()
-    rows: list[dict[str, object]] = []
+    rows: list[RobustnessRow] = []
     for label, graph, f in chosen:
         feasibility = check_feasibility(graph, f, use_structural_shortcuts=False)
         theorem1 = feasibility.satisfied
         r_plus = is_r_robust(graph, 2 * f + 1)
         r_s = is_r_s_robust(graph, f + 1, f + 1)
         degree = robustness_degree(graph)
-        row: dict[str, object] = {
-            "case": label,
-            "n": graph.number_of_nodes,
-            "f": f,
-            "theorem1_holds": theorem1,
-            "robust_2f+1": r_plus,
-            "robust_(f+1,f+1)": r_s,
-            "robustness_degree": degree,
-            "agrees": theorem1 == r_s,
-        }
-        row.update(
-            _dynamic_check(graph, f, feasibility, batch=batch, rounds=rounds, seed=seed)
+        sim = _dynamic_check(
+            graph, f, feasibility, batch=batch, rounds=rounds, seed=seed
         )
-        rows.append(row)
+        rows.append(
+            {
+                "case": label,
+                "n": graph.number_of_nodes,
+                "f": f,
+                "theorem1_holds": theorem1,
+                "robust_2f+1": r_plus,
+                "robust_(f+1,f+1)": r_s,
+                "robustness_degree": degree,
+                "agrees": theorem1 == r_s,
+                "sim_adversary": sim["sim_adversary"],
+                "sim_fraction_converged": sim["sim_fraction_converged"],
+                "sim_all_validity_ok": sim["sim_all_validity_ok"],
+                "sim_stalled_fraction": sim["sim_stalled_fraction"],
+            }
+        )
     return rows
 
 
@@ -161,10 +221,11 @@ def robustness_comparison(
         "case": tuple(label for label, _, _ in default_robustness_cases()),
         "batch": (16,),
     },
+    schema=ROBUSTNESS_SCHEMA,
 )
 def robustness_cell(
     case: str, batch: int = 16, seed: int = 23
-) -> list[dict[str, object]]:
+) -> list[RobustnessRow]:
     """Registry cell for E11: Theorem 1 vs robustness notions on one graph."""
     matching = select_labelled_case(
         case, default_robustness_cases(), "robustness case"

@@ -19,6 +19,7 @@ bit-exactness contract rather than taken on faith; the full curve (up to
 from __future__ import annotations
 
 import time
+from typing import TypedDict
 
 import numpy as np
 
@@ -31,6 +32,52 @@ from repro.simulation.engine import SimulationConfig
 from repro.simulation.sparse import SparseEngine
 from repro.simulation.vectorized import VectorizedEngine, random_input_matrix
 from repro.sweeps.registry import register_experiment
+from repro.sweeps.schema import schema_from_typeddict
+
+
+class LargeNRow(TypedDict):
+    """One batched cell of the E14 large-``n`` scale sweep."""
+
+    n: int
+    f: int
+    dtype: str
+    batch: int
+    rounds: int
+    edges: int
+    nnz: int
+    plane_mb_per_row: float
+    build_seconds: float
+    run_seconds: float
+    node_rounds_per_second: float
+    fraction_converged: float
+    all_validity_ok: bool
+    mean_final_spread: float
+    mean_contraction: float
+    equivalence_checked: bool
+
+
+#: Runtime half of :class:`LargeNRow`; validated at shard boundaries.
+LARGE_N_SCHEMA = schema_from_typeddict(
+    LargeNRow,
+    roles={
+        "n": "parameter",
+        "f": "parameter",
+        "dtype": "parameter",
+        "batch": "parameter",
+        "rounds": "parameter",
+        "edges": "metric",
+        "nnz": "metric",
+        "plane_mb_per_row": "metric",
+        "build_seconds": "metric",
+        "run_seconds": "metric",
+        "node_rounds_per_second": "metric",
+        "fraction_converged": "metric",
+        "all_validity_ok": "verdict",
+        "mean_final_spread": "metric",
+        "mean_contraction": "metric",
+        "equivalence_checked": "verdict",
+    },
+)
 
 #: State dtypes the sweep accepts (the sparse engine's two tiers).
 SCALE_DTYPES = ("float64", "float32")
@@ -54,7 +101,7 @@ def large_n_study(
     extra_mean: float = 2.0,
     max_plane_bytes: int | None = None,
     seed: int = 0,
-) -> list[dict[str, object]]:
+) -> list[LargeNRow]:
     """Run one batched large-``n`` cell on the heterogeneous ring lattice.
 
     Builds the graph and a random ``f``-node fault set from ``seed``, runs
@@ -161,6 +208,7 @@ def large_n_study(
         "batch": (8,),
         "rounds": (30,),
     },
+    schema=LARGE_N_SCHEMA,
 )
 def large_n_cell(
     n: int,
@@ -168,7 +216,7 @@ def large_n_cell(
     batch: int = 8,
     rounds: int = 30,
     seed: int = 0,
-) -> list[dict[str, object]]:
+) -> list[LargeNRow]:
     """Registry cell for E14: one (n, dtype) point of the scale sweep."""
     return large_n_study(
         n=n, dtype=dtype, batch=batch, rounds=rounds, seed=seed

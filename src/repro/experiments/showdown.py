@@ -21,6 +21,8 @@ few batched passes rather than thousands of scalar runs.
 
 from __future__ import annotations
 
+from typing import TypedDict
+
 import numpy as np
 
 from repro.adversary.selection import highest_out_degree_fault_set
@@ -48,7 +50,48 @@ from repro.graphs.generators import (
 from repro.simulation.engine import SimulationConfig
 from repro.simulation.vectorized import BatchRunner, random_input_matrix
 from repro.sweeps.registry import register_experiment, select_labelled_case
+from repro.sweeps.schema import schema_from_typeddict
 from repro.types import PartitionWitness
+
+
+class ShowdownRow(TypedDict):
+    """One (strategy, case) cell of the E13 adversary showdown.
+
+    The four statistics columns are ``None`` on inapplicable cells
+    (split-brain on a feasible graph has no witness to attack through), and
+    ``stalled_fraction`` is ``None`` for every non-split-brain strategy.
+    """
+
+    case: str
+    strategy: str
+    n: int
+    f: int
+    batch: int
+    condition_holds: bool
+    applicable: bool
+    fraction_converged: float | None
+    all_validity_ok: bool | None
+    mean_rounds: float | None
+    stalled_fraction: float | None
+
+
+#: Runtime half of :class:`ShowdownRow`; validated at shard boundaries.
+SHOWDOWN_SCHEMA = schema_from_typeddict(
+    ShowdownRow,
+    roles={
+        "case": "label",
+        "strategy": "label",
+        "n": "parameter",
+        "f": "parameter",
+        "batch": "parameter",
+        "condition_holds": "verdict",
+        "applicable": "verdict",
+        "fraction_converged": "metric",
+        "all_validity_ok": "verdict",
+        "mean_rounds": "metric",
+        "stalled_fraction": "metric",
+    },
+)
 
 #: Strategy labels accepted by the sweep, in display order.
 SHOWDOWN_STRATEGIES = (
@@ -125,7 +168,7 @@ def adversary_showdown(
     batch: int = 32,
     rounds: int = 150,
     seed: int = 0,
-) -> list[dict[str, object]]:
+) -> list[ShowdownRow]:
     """Run the full strategy x case cross as batched Monte-Carlo passes.
 
     Split-brain cells on feasible graphs report ``applicable=False`` (there
@@ -135,22 +178,19 @@ def adversary_showdown(
     input rows and use the ``f`` highest-out-degree nodes as the fault set.
     """
     chosen = cases if cases is not None else default_showdown_cases()
-    rows: list[dict[str, object]] = []
+    rows: list[ShowdownRow] = []
     for label, graph, f in chosen:
         witness = _witness_for(label, graph, f)
         for strategy_label in strategies:
-            row: dict[str, object] = {
-                "case": label,
-                "strategy": strategy_label,
-                "n": graph.number_of_nodes,
-                "f": f,
-                "batch": batch,
-                "condition_holds": witness is None,
-                "applicable": True,
-            }
             if strategy_label == "split-brain" and witness is None:
-                row.update(
+                rows.append(
                     {
+                        "case": label,
+                        "strategy": strategy_label,
+                        "n": graph.number_of_nodes,
+                        "f": f,
+                        "batch": batch,
+                        "condition_holds": witness is None,
                         "applicable": False,
                         "fraction_converged": None,
                         "all_validity_ok": None,
@@ -158,8 +198,8 @@ def adversary_showdown(
                         "stalled_fraction": None,
                     }
                 )
-                rows.append(row)
                 continue
+            stalled: float | None
             if strategy_label == "split-brain":
                 assert witness is not None
                 outcome, stalled = split_brain_stall_study(
@@ -180,15 +220,21 @@ def adversary_showdown(
                 )
                 outcome = runner.run(matrix)
                 stalled = None
-            row.update(
+            rows.append(
                 {
+                    "case": label,
+                    "strategy": strategy_label,
+                    "n": graph.number_of_nodes,
+                    "f": f,
+                    "batch": batch,
+                    "condition_holds": witness is None,
+                    "applicable": True,
                     "fraction_converged": outcome.fraction_converged,
                     "all_validity_ok": outcome.all_valid,
                     "mean_rounds": outcome.mean_rounds_to_convergence(),
                     "stalled_fraction": stalled,
                 }
             )
-            rows.append(row)
     return rows
 
 
@@ -207,6 +253,7 @@ def adversary_showdown(
         "batch": (32,),
         "rounds": (150,),
     },
+    schema=SHOWDOWN_SCHEMA,
 )
 def adversary_showdown_cell(
     case: str,
@@ -214,7 +261,7 @@ def adversary_showdown_cell(
     batch: int = 32,
     rounds: int = 150,
     seed: int = 0,
-) -> list[dict[str, object]]:
+) -> list[ShowdownRow]:
     """Registry cell for E13: one batch-native strategy on one graph family."""
     matching = select_labelled_case(
         case, default_showdown_cases(), "showdown case"

@@ -10,6 +10,8 @@ show that it does violate validity under the same attacks.
 
 from __future__ import annotations
 
+from typing import TypedDict
+
 from repro.adversary.base import ByzantineStrategy
 from repro.adversary.selection import highest_out_degree_fault_set
 from repro.adversary.strategies import (
@@ -28,7 +30,37 @@ from repro.graphs.generators import chord_network, complete_graph, core_network
 from repro.simulation.engine import run_synchronous
 from repro.simulation.inputs import uniform_random_inputs
 from repro.sweeps.registry import register_experiment, select_labelled_case
+from repro.sweeps.schema import schema_from_typeddict
 from repro.types import NodeId
+
+
+class ValidityRow(TypedDict):
+    """One row of the E8 validity study (one graph x rule x adversary)."""
+
+    graph: str
+    f: int
+    rule: str
+    adversary: str
+    validity_ok: bool
+    final_within_input_hull: bool
+    converged: bool
+    final_spread: float
+
+
+#: Runtime half of :class:`ValidityRow`; validated at shard boundaries.
+VALIDITY_SCHEMA = schema_from_typeddict(
+    ValidityRow,
+    roles={
+        "graph": "label",
+        "f": "parameter",
+        "rule": "label",
+        "adversary": "label",
+        "validity_ok": "verdict",
+        "final_within_input_hull": "verdict",
+        "converged": "verdict",
+        "final_spread": "metric",
+    },
+)
 
 
 def default_validity_graphs() -> list[tuple[str, Digraph, int]]:
@@ -56,7 +88,7 @@ def validity_study(
     rules: list[type[UpdateRule]] | None = None,
     rounds: int = 80,
     seed: int = 5,
-) -> list[dict[str, object]]:
+) -> list[ValidityRow]:
     """Cross every (graph, rule, adversary) combination and record validity.
 
     The fault set is the ``f`` highest-out-degree nodes (the most damaging
@@ -67,7 +99,7 @@ def validity_study(
     chosen_rules = (
         rules if rules is not None else [TrimmedMeanRule, WMSRRule, LinearAverageRule]
     )
-    rows: list[dict[str, object]] = []
+    rows: list[ValidityRow] = []
     for label, graph, f in chosen_graphs:
         faulty = highest_out_degree_fault_set(graph, f)
         inputs = uniform_random_inputs(graph.nodes, rng=seed)
@@ -109,7 +141,7 @@ def validity_study(
 
 
 def count_validity_failures(
-    rows: list[dict[str, object]], rule_name: str
+    rows: list[ValidityRow], rule_name: str
 ) -> tuple[int, int]:
     """Return ``(failures, total)`` validity counts for one rule across rows."""
     relevant = [row for row in rows if row["rule"] == rule_name]
@@ -129,10 +161,11 @@ def count_validity_failures(
         "graph": tuple(label for label, _, _ in default_validity_graphs()),
         "rounds": (80,),
     },
+    schema=VALIDITY_SCHEMA,
 )
 def validity_cell(
     graph: str, rounds: int = 80, seed: int = 5
-) -> list[dict[str, object]]:
+) -> list[ValidityRow]:
     """Registry cell for E8: the full rule x adversary cross on one graph."""
     matching = select_labelled_case(
         graph, default_validity_graphs(), "validity graph"

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -518,7 +519,7 @@ def sparse_cross_check_engines(
     dense_state = dense.pack_inputs(inputs)
     sparse_state = sparse.pack_inputs(inputs)
 
-    def stepped_pairs():
+    def stepped_pairs() -> Iterator[tuple[int, float, float]]:
         nonlocal dense_state, sparse_state
         for round_index in range(1, total_rounds + 1):
             dense_state = dense.step_matrix(dense_state, round_index)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -782,7 +782,7 @@ class EquivalenceReport:
 
 def _divergence_report(
     rounds_checked: int,
-    value_pairs,
+    value_pairs: Iterable[tuple[int, float, float]],
     length_mismatch: bool = False,
 ) -> EquivalenceReport:
     """Fold ``(round_index, reference, candidate)`` triples into a report.
@@ -874,7 +874,7 @@ def cross_check_engines(
     scalar_state = {node: float(inputs[node]) for node in graph.nodes}
     matrix = vector_engine.pack_inputs(scalar_state)
 
-    def stepped_pairs():
+    def stepped_pairs() -> Iterator[tuple[int, float, float]]:
         nonlocal scalar_state, matrix
         for round_index in range(1, total_rounds + 1):
             scalar_state = scalar_engine.step(scalar_state, round_index)

@@ -7,6 +7,10 @@ This subpackage turns the experiment driver modules under
   the :class:`ExperimentSpec` records it collects.  Every experiment declares
   its parameter grid, the engine it runs on and the paper section it
   reproduces.
+* :mod:`repro.sweeps.schema` — per-experiment typed row schemas: a
+  ``TypedDict`` (static half, checked by mypy) and the
+  :class:`~repro.sweeps.schema.RowSchema` runtime descriptor derived from
+  it, validated at every shard boundary and persisted in run manifests.
 * :mod:`repro.sweeps.grid` — parameter-grid expansion into cells, CLI-style
   ``key=v1,v2`` overrides and canonical fingerprints.
 * :mod:`repro.sweeps.orchestrator` — splits a grid into deterministic shards
@@ -38,13 +42,23 @@ from repro.sweeps.registry import (
     register_experiment,
     select_labelled_case,
 )
-from repro.sweeps.store import RunStore
+from repro.sweeps.schema import (
+    Column,
+    RowSchema,
+    schema_from_typeddict,
+)
+from repro.sweeps.store import Aggregate, Manifest, RunStore
 
 __all__ = [
+    "Aggregate",
     "BENCH_SCHEMA_VERSION",
+    "Column",
+    "Manifest",
     "RUN_SCHEMA_VERSION",
     "ExperimentSpec",
+    "RowSchema",
     "RunStore",
+    "schema_from_typeddict",
     "SweepPlan",
     "SweepResult",
     "all_experiments",

@@ -28,7 +28,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, SchemaViolationError
 from repro.sweeps.grid import apply_overrides, expand_grid, grid_fingerprint
 from repro.sweeps.provenance import (
     RUN_SCHEMA_VERSION,
@@ -36,7 +36,8 @@ from repro.sweeps.provenance import (
     utc_now_iso,
 )
 from repro.sweeps.registry import ExperimentSpec, get_experiment
-from repro.sweeps.store import RunStore
+from repro.sweeps.schema import RowSchema
+from repro.sweeps.store import Manifest, RunStore
 
 #: Default root directory of the results store.
 DEFAULT_RESULTS_ROOT = Path("results")
@@ -67,7 +68,7 @@ class SweepResult:
 
     run_id: str
     run_dir: Path
-    manifest: dict[str, object]
+    manifest: Manifest
     rows: list[dict[str, object]]
 
 
@@ -133,7 +134,9 @@ def plan_sweep(
     return plan_from_grid(name, grid, seed=seed, shards=shards, run_id=run_id)
 
 
-def _cell_params(spec: ExperimentSpec, plan: SweepPlan, cell_index: int) -> dict:
+def _cell_params(
+    spec: ExperimentSpec, plan: SweepPlan, cell_index: int
+) -> dict[str, object]:
     """Return the runner kwargs for one cell (with the injected seed, if any)."""
     params = dict(plan.cells[cell_index])
     if spec.accepts_seed and "seed" not in params:
@@ -141,18 +144,37 @@ def _cell_params(spec: ExperimentSpec, plan: SweepPlan, cell_index: int) -> dict
     return params
 
 
+def _parameter_columns(spec: ExperimentSpec, plan: SweepPlan) -> list[str]:
+    """Names of the cell-parameter columns merged into aggregate rows."""
+    columns = list(plan.grid)
+    if spec.accepts_seed and "seed" not in columns:
+        columns.append("seed")
+    return columns
+
+
 def execute_shard(plan: SweepPlan, shard_index: int) -> dict[str, object]:
     """Run every cell of one shard and return the shard payload.
 
     The payload is self-describing (fingerprint, cell indices, per-cell
     parameters and rows) so a shard file can be validated and aggregated
-    without re-deriving anything.
+    without re-deriving anything.  Every row is validated against the
+    experiment's :class:`~repro.sweeps.schema.RowSchema` before the shard
+    leaves this function — an unknown, missing or mistyped column raises
+    :class:`~repro.exceptions.SchemaViolationError` naming the experiment,
+    shard, cell and row it came from.
     """
     spec = get_experiment(plan.experiment)
     cells_out: list[dict[str, object]] = []
     for cell_index in plan.shards[shard_index]:
         params = _cell_params(spec, plan, cell_index)
         rows = spec.runner(**params)
+        spec.schema.validate_rows(
+            list(rows),
+            context=(
+                f"experiment {plan.experiment!r}, shard {shard_index}, "
+                f"cell {cell_index}"
+            ),
+        )
         cells_out.append(
             {
                 "cell_index": cell_index,
@@ -192,7 +214,7 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 def _build_manifest(
     spec: ExperimentSpec, plan: SweepPlan, status: str, completed: Iterable[int]
-) -> dict[str, object]:
+) -> Manifest:
     """Assemble the manifest document for the current run state."""
     return {
         "schema_version": RUN_SCHEMA_VERSION,
@@ -213,6 +235,8 @@ def _build_manifest(
         "status": status,
         "updated_at": utc_now_iso(),
         "provenance": machine_provenance(),
+        "row_schema": spec.schema.to_json(),
+        "parameter_columns": _parameter_columns(spec, plan),
     }
 
 
@@ -302,14 +326,28 @@ def run_sweep(
             f"(fingerprint {existing.get('fingerprint')!r}); choose another "
             "--run-id or delete it"
         )
+    if existing is not None:
+        stored_schema = RowSchema.from_json(existing["row_schema"])
+        if stored_schema.fingerprint() != spec.schema.fingerprint():
+            raise SchemaViolationError(
+                f"run {plan.run_id!r} in {store.run_dir} was produced under "
+                f"row schema {stored_schema.name!r} (fingerprint "
+                f"{stored_schema.fingerprint()[:12]}) but the current code "
+                f"declares {spec.schema.name!r} (fingerprint "
+                f"{spec.schema.fingerprint()[:12]}); the schema drifted — "
+                "delete the run directory or use a fresh --run-id"
+            )
 
     # One pass over the run directory fills the payload cache; everything
     # downstream (manifest progress, aggregation) reuses it instead of
-    # re-reading shard files.
+    # re-reading shard files.  Stored shards are schema-re-validated here,
+    # so resume never mixes rows a different code version wrote.
     payloads: dict[int, dict[str, object]] = {}
     if resume:
         for index in range(len(plan.shards)):
-            payload = store.read_shard(index, fingerprint=plan.fingerprint)
+            payload = store.read_shard(
+                index, fingerprint=plan.fingerprint, schema=spec.schema
+            )
             if payload is not None:
                 payloads[index] = payload
     pending = [
@@ -361,7 +399,10 @@ def run_sweep(
             "fingerprint": plan.fingerprint,
             "paper_section": spec.paper_section,
             "engine": spec.engine,
+            "row_schema": spec.schema.to_json(),
+            "parameter_columns": _parameter_columns(spec, plan),
         },
+        schema=spec.schema,
     )
     store.write_manifest(manifest)
     say(f"  aggregate: {len(rows)} rows -> {store.aggregate_path}")

@@ -29,9 +29,20 @@ import importlib
 import inspect
 import threading
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence, TypeVar
 
 from repro.exceptions import InvalidParameterError
+from repro.sweeps.schema import RowSchema
+
+#: The shape every registered runner satisfies: keyword cell parameters in,
+#: a sequence of row mappings out.  ``Sequence[Mapping[...]]`` rather than
+#: ``list[dict[...]]`` so runners annotated with their own ``TypedDict``
+#: rows (which are ``Mapping``- but not ``dict``-compatible) still conform.
+RowFn = Callable[..., Sequence[Mapping[str, object]]]
+
+#: Decorator-preserving type variable: ``@register_experiment(...)`` returns
+#: the runner unchanged, with its precise row type intact.
+F = TypeVar("F", bound=RowFn)
 
 #: Module whose import registers every experiment (its ``__init__`` pulls in
 #: all driver modules).
@@ -59,6 +70,10 @@ class ExperimentSpec:
         (in declaration order, last key fastest) forms the sweep cells.
     runner:
         ``runner(**cell_params) -> list[dict]``; one call per cell.
+    schema:
+        The :class:`~repro.sweeps.schema.RowSchema` every row the runner
+        emits must satisfy; the orchestrator validates rows against it at
+        shard boundaries and persists it in the run manifest.
     description:
         First line of the runner's docstring (shown by ``repro list``).
     accepts_seed:
@@ -72,7 +87,8 @@ class ExperimentSpec:
     claim: str
     engine: str
     grid: Mapping[str, tuple]
-    runner: Callable[..., list[dict[str, object]]]
+    runner: RowFn
+    schema: RowSchema
     description: str
     accepts_seed: bool
 
@@ -97,13 +113,16 @@ def register_experiment(
     claim: str,
     engine: str,
     grid: Mapping[str, Sequence[object]],
-) -> Callable[[Callable[..., list[dict[str, object]]]], Callable[..., list[dict[str, object]]]]:
+    schema: RowSchema,
+) -> Callable[[F], F]:
     """Class the decorated function as the registry entry point ``name``.
 
     The decorator validates the grid (non-empty value tuples, parameter names
-    matching the runner's signature) and records an
-    :class:`ExperimentSpec`; the function itself is returned unchanged so it
-    stays directly callable and importable.
+    matching the runner's signature), requires the experiment's
+    :class:`~repro.sweeps.schema.RowSchema` (reprolint rule REG003 enforces
+    the same statically), and records an :class:`ExperimentSpec`; the
+    function itself is returned unchanged so it stays directly callable and
+    importable.
     """
     normalized = {str(key): tuple(values) for key, values in grid.items()}
     for key, values in normalized.items():
@@ -111,10 +130,13 @@ def register_experiment(
             raise InvalidParameterError(
                 f"experiment {name!r}: grid parameter {key!r} has no values"
             )
+    if not isinstance(schema, RowSchema):
+        raise InvalidParameterError(
+            f"experiment {name!r}: schema must be a RowSchema "
+            f"(build one with schema_from_typeddict), got {schema!r}"
+        )
 
-    def decorate(
-        runner: Callable[..., list[dict[str, object]]]
-    ) -> Callable[..., list[dict[str, object]]]:
+    def decorate(runner: F) -> F:
         if name in _REGISTRY:
             raise InvalidParameterError(
                 f"experiment {name!r} is already registered "
@@ -136,6 +158,7 @@ def register_experiment(
             engine=engine,
             grid=normalized,
             runner=runner,
+            schema=schema,
             description=description,
             accepts_seed="seed" in parameters,
         )

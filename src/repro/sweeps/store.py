@@ -4,7 +4,8 @@ Layout (one directory per run, under ``results/`` by default)::
 
     results/<run_id>/
         manifest.json      run identity: experiment, grid, cells, shard map,
-                           per-cell seeds, fingerprint, status, provenance
+                           per-cell seeds, fingerprint, row schema, status,
+                           provenance
         shard_0000.json    one file per completed shard: the rows of its cells
         ...
         aggregate.json     all rows in cell order (written when the run
@@ -16,6 +17,15 @@ Shard files are the resume unit: a re-run with the same fingerprint skips
 every shard whose file already exists and only executes the missing ones.
 All writes are atomic (temp file + ``os.replace``) so an interrupted run
 never leaves a half-written shard behind.
+
+Documents come back **typed and validated**: :meth:`RunStore.read_manifest`
+returns a :class:`Manifest` and :meth:`RunStore.read_aggregate` an
+:class:`Aggregate` (both ``TypedDict``), each checked for the required keys
+on read, and both :meth:`RunStore.read_shard` and
+:meth:`RunStore.read_aggregate` re-validate their rows against the run's
+:class:`~repro.sweeps.schema.RowSchema` so a hand-edited or
+version-skewed run directory fails loudly instead of feeding a corrupted
+aggregate downstream.
 """
 
 from __future__ import annotations
@@ -23,16 +33,190 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, TypedDict, cast
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, SchemaViolationError
 from repro.sweeps.provenance import RUN_SCHEMA_VERSION
+from repro.sweeps.schema import RowSchema, numeric_arrays
 
 MANIFEST_NAME = "manifest.json"
 AGGREGATE_NAME = "aggregate.json"
 AGGREGATE_NPZ_NAME = "aggregate.npz"
+
+
+class _ManifestRequired(TypedDict):
+    """Keys every run manifest carries from the moment it is first written."""
+
+    schema_version: int
+    experiment: str
+    paper_section: str
+    claim: str
+    engine: str
+    run_id: str
+    fingerprint: str
+    seed: int
+    grid: dict[str, list[object]]
+    num_cells: int
+    cells: list[dict[str, object]]
+    cell_seeds: list[int]
+    num_shards: int
+    shards: list[list[int]]
+    completed_shards: list[int]
+    status: str
+    updated_at: str
+    provenance: dict[str, object]
+    row_schema: dict[str, object]
+    parameter_columns: list[str]
+
+
+class Manifest(_ManifestRequired, total=False):
+    """The validated ``manifest.json`` document.
+
+    ``row_count`` only appears once the run has completed and aggregated.
+    """
+
+    row_count: int
+
+
+class _AggregateRequired(TypedDict):
+    """Keys every aggregate document carries."""
+
+    schema_version: int
+    experiment: str
+    run_id: str
+    fingerprint: str
+    paper_section: str
+    engine: str
+    row_schema: dict[str, object]
+    parameter_columns: list[str]
+    row_count: int
+    rows: list[dict[str, object]]
+
+
+class Aggregate(_AggregateRequired, total=False):
+    """The validated ``aggregate.json`` document."""
+
+
+#: (key, required type) pairs checked by the manifest validator.  ``bool``
+#: is excluded from the ``int`` checks via exact-type tests below.
+_MANIFEST_SCALARS: tuple[tuple[str, type], ...] = (
+    ("experiment", str),
+    ("paper_section", str),
+    ("claim", str),
+    ("engine", str),
+    ("run_id", str),
+    ("fingerprint", str),
+    ("status", str),
+    ("updated_at", str),
+)
+
+_AGGREGATE_SCALARS: tuple[tuple[str, type], ...] = (
+    ("experiment", str),
+    ("run_id", str),
+    ("fingerprint", str),
+    ("paper_section", str),
+    ("engine", str),
+)
+
+
+def _require_keys(
+    payload: Mapping[str, object],
+    required: Sequence[str],
+    scalars: Sequence[tuple[str, type]],
+    what: str,
+) -> None:
+    """Shared manifest/aggregate structural validation."""
+    missing = [key for key in required if key not in payload]
+    if missing:
+        raise SchemaViolationError(
+            f"{what} is missing required key(s): {', '.join(missing)}; "
+            "the run directory predates the row-schema layer or was "
+            "hand-edited — delete it or use a fresh --run-id"
+        )
+    for key, expected in scalars:
+        value = payload[key]
+        if not isinstance(value, expected):
+            raise SchemaViolationError(
+                f"{what}: key {key!r} must be {expected.__name__}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+
+
+def _validate_manifest(payload: Mapping[str, object], where: str) -> Manifest:
+    """Validate a raw manifest document and return it typed."""
+    _require_keys(
+        payload, list(_ManifestRequired.__annotations__), _MANIFEST_SCALARS, where
+    )
+    if not isinstance(payload["row_schema"], Mapping):
+        raise SchemaViolationError(
+            f"{where}: 'row_schema' must be a mapping, "
+            f"got {type(payload['row_schema']).__name__}"
+        )
+    # Rebuilding proves the stored schema document is well-formed.
+    RowSchema.from_json(cast("Mapping[str, object]", payload["row_schema"]))
+    return cast(Manifest, dict(payload))
+
+
+def _validate_aggregate(
+    payload: Mapping[str, object], where: str, schema: RowSchema | None
+) -> Aggregate:
+    """Validate a raw aggregate document (structure + rows) and type it."""
+    _require_keys(
+        payload,
+        list(_AggregateRequired.__annotations__),
+        _AGGREGATE_SCALARS,
+        where,
+    )
+    rows = payload["rows"]
+    if not isinstance(rows, list):
+        raise SchemaViolationError(
+            f"{where}: 'rows' must be a list, got {type(rows).__name__}"
+        )
+    if payload["row_count"] != len(rows):
+        raise SchemaViolationError(
+            f"{where}: row_count {payload['row_count']!r} disagrees with "
+            f"the {len(rows)} stored row(s)"
+        )
+    if not isinstance(payload["row_schema"], Mapping):
+        raise SchemaViolationError(
+            f"{where}: 'row_schema' must be a mapping, "
+            f"got {type(payload['row_schema']).__name__}"
+        )
+    stored = RowSchema.from_json(
+        cast("Mapping[str, object]", payload["row_schema"])
+    )
+    if schema is not None and schema.fingerprint() != stored.fingerprint():
+        raise SchemaViolationError(
+            f"{where}: stored schema {stored.name!r} "
+            f"(fingerprint {stored.fingerprint()[:12]}) does not match the "
+            f"current schema {schema.name!r} "
+            f"(fingerprint {schema.fingerprint()[:12]})"
+        )
+    parameter_columns = payload["parameter_columns"]
+    if not isinstance(parameter_columns, list):
+        raise SchemaViolationError(
+            f"{where}: 'parameter_columns' must be a list, "
+            f"got {type(parameter_columns).__name__}"
+        )
+    # Aggregate rows interleave grid parameters and the cell index with the
+    # experiment's own columns; strip only the keys the schema does not
+    # claim (a grid parameter such as "case" may also be a schema column).
+    extra = (
+        {str(column) for column in parameter_columns} | {"cell_index"}
+    ) - set(stored.names)
+    for row_index, row in enumerate(rows):
+        if not isinstance(row, Mapping):
+            raise SchemaViolationError(
+                f"{where}, row {row_index}: expected a mapping, "
+                f"got {type(row).__name__}"
+            )
+        stored.validate_row(
+            {key: value for key, value in row.items() if key not in extra},
+            context=f"{where}, row {row_index}",
+        )
+    return cast(Aggregate, dict(payload))
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -45,7 +229,7 @@ def _atomic_write_text(path: Path, text: str) -> None:
 class RunStore:
     """Filesystem access to one run directory (see the module docstring)."""
 
-    def __init__(self, run_dir: Path | str):
+    def __init__(self, run_dir: Path | str) -> None:
         """Bind the store to ``run_dir`` (created on first write)."""
         self.run_dir = Path(run_dir)
 
@@ -77,11 +261,18 @@ class RunStore:
             self.manifest_path, json.dumps(manifest, indent=2, default=repr) + "\n"
         )
 
-    def read_manifest(self) -> dict[str, object] | None:
-        """Return the manifest, or ``None`` when the run directory is fresh."""
+    def read_manifest(self) -> Manifest | None:
+        """Return the validated manifest, or ``None`` for a fresh directory.
+
+        Raises :class:`~repro.exceptions.SchemaViolationError` when the
+        stored document is missing required keys or carries a malformed
+        ``row_schema`` — a manifest from before the row-schema layer, or a
+        hand-edited one, fails here instead of deeper in the orchestrator.
+        """
         if not self.manifest_path.is_file():
             return None
-        return json.loads(self.manifest_path.read_text())
+        payload = json.loads(self.manifest_path.read_text())
+        return _validate_manifest(payload, f"manifest {self.manifest_path}")
 
     # -- shards --------------------------------------------------------------
     def write_shard(self, shard_index: int, payload: Mapping[str, object]) -> None:
@@ -93,13 +284,20 @@ class RunStore:
         )
 
     def read_shard(
-        self, shard_index: int, fingerprint: str | None = None
+        self,
+        shard_index: int,
+        fingerprint: str | None = None,
+        schema: RowSchema | None = None,
     ) -> dict[str, object] | None:
         """Return one shard's payload, or ``None`` when absent.
 
         When ``fingerprint`` is given, a stored shard from a *different*
         sweep (stale directory reuse) raises instead of silently mixing
-        results.
+        results.  When ``schema`` is given, every stored row is re-validated
+        against it, so rows that were corrupted on disk (or written by a
+        different code version) raise
+        :class:`~repro.exceptions.SchemaViolationError` with their cell
+        coordinates.
         """
         path = self.shard_path(shard_index)
         if not path.is_file():
@@ -110,6 +308,21 @@ class RunStore:
                 f"{path} belongs to a different sweep (fingerprint mismatch); "
                 "use a fresh --run-id or delete the stale run directory"
             )
+        if schema is not None:
+            cells = payload.get("cells")
+            if not isinstance(cells, list):
+                raise SchemaViolationError(
+                    f"{path}: shard payload has no 'cells' list"
+                )
+            for cell in cells:
+                if not isinstance(cell, Mapping):
+                    raise SchemaViolationError(
+                        f"{path}: cell entry is not a mapping"
+                    )
+                schema.validate_rows(
+                    cell.get("rows"),
+                    context=f"{path}, cell {cell.get('cell_index')}",
+                )
         return payload
 
     def completed_shards(
@@ -127,14 +340,16 @@ class RunStore:
         self,
         rows: Sequence[Mapping[str, object]],
         header: Mapping[str, object],
+        schema: RowSchema | None = None,
     ) -> None:
         """Write the JSON aggregate and its NPZ companion.
 
         ``header`` carries the run identity block (experiment, run id,
-        fingerprint, ...); ``rows`` are the merged cell-parameter + result
-        rows in cell order.  The NPZ file holds every column whose values are
-        all ``int`` / ``float`` / ``bool`` across rows, as one array per
-        column — the bulk-analysis-friendly view of the same data.
+        fingerprint, row schema, ...); ``rows`` are the merged
+        cell-parameter + result rows in cell order.  The NPZ file holds the
+        numeric columns — schema-selected when ``schema`` is given (with
+        NaN holes for optional columns), value-sniffed otherwise — as one
+        array per column: the bulk-analysis-friendly view of the same data.
         """
         payload = {
             "schema_version": RUN_SCHEMA_VERSION,
@@ -146,35 +361,54 @@ class RunStore:
         _atomic_write_text(
             self.aggregate_path, json.dumps(payload, indent=2, default=repr) + "\n"
         )
-        columns = numeric_columns(rows)
+        columns = numeric_columns(rows, schema=schema)
         if columns:
             tmp = self.aggregate_npz_path.with_suffix(".npz.tmp")
             with open(tmp, "wb") as handle:
                 np.savez(handle, **columns)
             os.replace(tmp, self.aggregate_npz_path)
 
-    def read_aggregate(self) -> dict[str, object] | None:
-        """Return the JSON aggregate, or ``None`` when the run is incomplete."""
+    def read_aggregate(self, schema: RowSchema | None = None) -> Aggregate | None:
+        """Return the validated aggregate, or ``None`` when incomplete.
+
+        Every stored row is re-validated against the aggregate's persisted
+        row schema (parameter and bookkeeping columns exempted); passing
+        ``schema`` additionally pins the persisted schema to the current
+        code's fingerprint, so reading a drifted run raises instead of
+        returning rows the caller's annotations no longer describe.
+        """
         if not self.aggregate_path.is_file():
             return None
-        return json.loads(self.aggregate_path.read_text())
+        payload = json.loads(self.aggregate_path.read_text())
+        return _validate_aggregate(
+            payload, f"aggregate {self.aggregate_path}", schema
+        )
 
 
 def numeric_columns(
-    rows: Sequence[Mapping[str, object]]
+    rows: Sequence[Mapping[str, object]],
+    schema: RowSchema | None = None,
 ) -> dict[str, np.ndarray]:
-    """Extract the columns of ``rows`` that are numeric/boolean in every row.
+    """Extract the numeric/boolean columns of ``rows`` as arrays in row order.
 
-    A column qualifies when it is present in every row with an ``int``,
-    ``float`` or ``bool`` value (NumPy scalars included); qualifying columns
-    come back as arrays in row order, ready for ``np.savez``.
+    With a ``schema``, its int/float/bool columns are selected by
+    declaration — a column that is ``None`` (or absent) in some rows still
+    lands in the NPZ as ``float64`` with NaN holes, fixing the old
+    first-row type-sniffing heuristic that silently dropped it.  Columns
+    outside the schema (merged cell parameters, ``cell_index``) and the
+    schema-less call keep the historical rule: present in every row with an
+    ``int`` / ``float`` / ``bool`` value (NumPy scalars included).
     """
     if not rows:
         return {}
     candidates = set(rows[0])
     for row in rows:
         candidates &= set(row)
-    columns: dict[str, np.ndarray] = {}
+    if schema is not None:
+        columns = numeric_arrays(rows, schema)
+        candidates -= set(schema.names)
+    else:
+        columns = {}
     for key in sorted(candidates):
         values = [row[key] for row in rows]
         if all(
@@ -182,4 +416,4 @@ def numeric_columns(
             for value in values
         ):
             columns[key] = np.asarray(values)
-    return columns
+    return {key: columns[key] for key in sorted(columns)}

@@ -66,14 +66,23 @@ class TestSummarizeBooleans:
         rows = [
             {"ok": True},
             {"ok": False},
-            {"ok": 1},
             {"other": True},
+            {"ok": None},
         ]
         assert summarize_booleans(rows, "ok") == {
-            "true": 2,
+            "true": 1,
             "false": 1,
-            "missing": 1,
+            "missing": 2,
         }
+
+    def test_non_bool_value_raises_with_coordinates(self):
+        rows = [{"ok": True}, {"ok": 1}]
+        with pytest.raises(InvalidParameterError) as excinfo:
+            summarize_booleans(rows, "ok")
+        message = str(excinfo.value)
+        assert "'ok'" in message
+        assert "row 1" in message
+        assert "int" in message
 
     def test_empty_iterable(self):
         assert summarize_booleans([], "ok") == {"true": 0, "false": 0, "missing": 0}
